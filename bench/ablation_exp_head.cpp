@@ -1,0 +1,39 @@
+// Ablation B (Eq. 3): the exponential output head, motivated by runtime
+// growing exponentially in the number of encrypted gates, vs a plain linear
+// head. Everything else is ICNet-NN.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "ic/nn/trainer.hpp"
+
+int main() {
+  const auto profile = icbench::ExperimentProfile::from_env();
+  std::printf("=== Ablation B: exponential vs linear output head ===\n");
+  const auto ds = icbench::dataset1(profile);
+  const auto split = ic::data::split_indices(ds.instances.size(), 0.2, 99);
+  const auto samples = ic::data::to_gnn_samples(
+      ds, ic::data::FeatureSet::All, ic::data::StructureKind::Adjacency);
+  const auto train = ic::data::take(samples, split.train);
+  const auto test = ic::data::take(samples, split.test);
+
+  for (bool exp_head : {true, false}) {
+    ic::nn::GnnConfig cfg;
+    cfg.in_features = 7;
+    cfg.hidden = {8, 4};
+    cfg.readout = ic::nn::Readout::Attention;
+    cfg.exp_head = exp_head;
+    cfg.seed = 1234;
+    ic::nn::GnnRegressor model(cfg);
+    ic::nn::TrainOptions opt;
+    opt.max_epochs = profile.gnn_epochs;
+    opt.learning_rate = 0.005;
+    opt.patience = 80;
+    opt.weight_decay = 1e-3;
+    opt.seed = 77;
+    ic::nn::train_gnn(model, train, opt);
+    std::printf("%-28s test MSE %s\n",
+                exp_head ? "exp head (Eq. 3, ICNet)" : "linear head",
+                icbench::cell(ic::nn::evaluate_mse(model, test)).c_str());
+  }
+  return 0;
+}

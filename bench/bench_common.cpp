@@ -1,0 +1,199 @@
+#include "bench_common.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "ic/circuit/generator.hpp"
+#include "ic/data/dataset_io.hpp"
+#include "ic/data/metrics.hpp"
+#include "ic/ml/regressor.hpp"
+#include "ic/nn/trainer.hpp"
+#include "ic/support/strings.hpp"
+
+namespace icbench {
+
+using ic::data::Aggregation;
+using ic::data::FeatureSet;
+using ic::data::Split;
+using ic::data::StructureKind;
+using ic::nn::Readout;
+
+ic::circuit::Netlist main_circuit(const ExperimentProfile& profile) {
+  ic::circuit::GeneratorSpec spec;
+  spec.num_gates = profile.circuit_gates;
+  spec.num_inputs = profile.circuit_inputs;
+  spec.num_outputs = profile.circuit_outputs;
+  spec.seed = profile.seed;
+  return ic::circuit::generate_circuit(spec, "main_" + profile.name);
+}
+
+Dataset dataset1(const ExperimentProfile& profile) {
+  const auto circuit = main_circuit(profile);
+  return ic::data::load_or_generate(
+      circuit, profile.dataset1_options(),
+      "bench_cache/" + profile.name + "_dataset1.txt");
+}
+
+Dataset dataset2(const ExperimentProfile& profile) {
+  const auto circuit = main_circuit(profile);
+  return ic::data::load_or_generate(
+      circuit, profile.dataset2_options(),
+      "bench_cache/" + profile.name + "_dataset2.txt");
+}
+
+const char* variant_name(GnnVariant variant) {
+  switch (variant) {
+    case GnnVariant::Gcn: return "GCN";
+    case GnnVariant::ChebNet: return "ChebNet";
+    case GnnVariant::ICNet: return "ICNet";
+  }
+  return "?";
+}
+
+namespace {
+
+StructureKind structure_for(GnnVariant variant) {
+  switch (variant) {
+    case GnnVariant::Gcn: return StructureKind::GcnNorm;
+    case GnnVariant::ChebNet: return StructureKind::ScaledLaplacian;
+    case GnnVariant::ICNet: return StructureKind::Adjacency;
+  }
+  return StructureKind::Adjacency;
+}
+
+ic::nn::GnnConfig config_for(GnnVariant variant, Readout readout,
+                             FeatureSet features) {
+  ic::nn::GnnConfig cfg;
+  cfg.conv_mode = variant == GnnVariant::ChebNet ? ic::nn::ConvMode::Chebyshev
+                                                 : ic::nn::ConvMode::Propagate;
+  cfg.cheb_order = 3;
+  cfg.in_features = ic::data::feature_width(features);
+  cfg.hidden = {8, 4};
+  cfg.readout = readout;
+  cfg.exp_head = variant == GnnVariant::ICNet;  // Eq. 3 is ICNet's design
+  cfg.seed = 1234;
+  return cfg;
+}
+
+ic::nn::TrainOptions train_options_for(ic::nn::Readout readout,
+                                       const ExperimentProfile& profile) {
+  ic::nn::TrainOptions opt;
+  opt.max_epochs = profile.gnn_epochs;
+  // Sum readout accumulates over every gate, so its head sees inputs two
+  // orders of magnitude larger; a gentler step keeps Adam stable there.
+  opt.learning_rate = readout == ic::nn::Readout::Sum ? 0.002 : 0.005;
+  opt.patience = 80;
+  opt.weight_decay = 1e-3;
+  opt.seed = 77;
+  return opt;
+}
+
+}  // namespace
+
+double evaluate_gnn(const Dataset& dataset, const Split& split,
+                    GnnVariant variant, Readout readout, FeatureSet features,
+                    const ExperimentProfile& profile) {
+  const auto samples =
+      ic::data::to_gnn_samples(dataset, features, structure_for(variant));
+  const auto train = ic::data::take(samples, split.train);
+  const auto test = ic::data::take(samples, split.test);
+
+  ic::nn::GnnRegressor model(config_for(variant, readout, features));
+  ic::nn::train_gnn(model, train, train_options_for(readout, profile));
+  return ic::nn::evaluate_mse(model, test);
+}
+
+double evaluate_baseline(const std::string& name, const Dataset& dataset,
+                         const Split& split, FeatureSet features,
+                         Aggregation aggregation) {
+  // Paper encoding: gate-wise sum/mean of [structure | features]; the
+  // structure block uses the adjacency matrix (EXPERIMENTS.md).
+  const auto x = ic::data::flatten_dataset(dataset, features,
+                                           StructureKind::Adjacency, aggregation);
+  const auto y = dataset.log_targets();
+  const auto xtrain = ic::data::take_rows(x, split.train);
+  const auto xtest = ic::data::take_rows(x, split.test);
+  const auto ytrain = ic::data::take(y, split.train);
+  const auto ytest = ic::data::take(y, split.test);
+
+  auto model = ic::ml::make_regressor(name, 555);
+  model->fit(xtrain, ytrain);
+  return model->mse(xtest, ytest);
+}
+
+std::string cell(double v) {
+  if (std::isnan(v)) return "N/A";
+  return ic::format_mse(v);
+}
+
+void print_regression_table(const std::string& title, const Dataset& dataset,
+                            const ExperimentProfile& profile) {
+  const Split split = ic::data::split_indices(dataset.instances.size(), 0.2, 99);
+  std::printf("%s (profile=%s, %zu instances, %zu train / %zu test)\n",
+              title.c_str(), profile.name.c_str(), dataset.instances.size(),
+              split.train.size(), split.test.size());
+  std::printf("%-12s %12s %12s %12s %12s\n", "", "Location/Sum", "Location/Mean",
+              "Allfeat/Sum", "Allfeat/Mean");
+
+  auto baseline_row = [&](const std::string& name) {
+    double v[4];
+    int i = 0;
+    for (FeatureSet fs : {FeatureSet::Location, FeatureSet::All}) {
+      for (Aggregation agg : {Aggregation::Sum, Aggregation::Mean}) {
+        try {
+          v[i] = evaluate_baseline(name, dataset, split, fs, agg);
+        } catch (const std::runtime_error&) {
+          v[i] = std::nan("");
+        }
+        ++i;
+      }
+    }
+    // Table order is (Loc/Sum, Loc/Mean, All/Sum, All/Mean); we computed
+    // (Loc/Sum, Loc/Mean, All/Sum, All/Mean) already in that order.
+    std::printf("%-12s %12s %12s %12s %12s\n", name.c_str(), cell(v[0]).c_str(),
+                cell(v[1]).c_str(), cell(v[2]).c_str(), cell(v[3]).c_str());
+  };
+
+  for (const auto& name : ic::ml::baseline_names()) baseline_row(name);
+
+  for (GnnVariant variant : {GnnVariant::ChebNet, GnnVariant::Gcn, GnnVariant::ICNet}) {
+    double v[4];
+    int i = 0;
+    for (FeatureSet fs : {FeatureSet::Location, FeatureSet::All}) {
+      for (Readout readout : {Readout::Sum, Readout::Mean}) {
+        v[i++] = evaluate_gnn(dataset, split, variant, readout, fs, profile);
+      }
+    }
+    std::printf("%-12s %12s %12s %12s %12s\n", variant_name(variant),
+                cell(v[0]).c_str(), cell(v[1]).c_str(), cell(v[2]).c_str(),
+                cell(v[3]).c_str());
+    const double loc_nn = evaluate_gnn(dataset, split, variant,
+                                       Readout::Attention, FeatureSet::Location,
+                                       profile);
+    const double all_nn = evaluate_gnn(dataset, split, variant,
+                                       Readout::Attention, FeatureSet::All,
+                                       profile);
+    const std::string nn_name = std::string(variant_name(variant)) + "-NN";
+    std::printf("%-12s %12s %12s %12s %12s\n", nn_name.c_str(),
+                cell(loc_nn).c_str(), "-", cell(all_nn).c_str(), "-");
+  }
+}
+
+TrainedICNet train_icnet_nn(const Dataset& dataset,
+                            const ExperimentProfile& profile,
+                            FeatureSet features) {
+  const Split split = ic::data::split_indices(dataset.instances.size(), 0.2, 99);
+  const auto samples =
+      ic::data::to_gnn_samples(dataset, features, StructureKind::Adjacency);
+  TrainedICNet out;
+  out.train = ic::data::take(samples, split.train);
+  out.test = ic::data::take(samples, split.test);
+  out.test_indices = split.test;
+  out.model = std::make_unique<ic::nn::GnnRegressor>(
+      config_for(GnnVariant::ICNet, Readout::Attention, features));
+  ic::nn::train_gnn(*out.model, out.train,
+                    train_options_for(Readout::Attention, profile));
+  return out;
+}
+
+}  // namespace icbench

@@ -1,0 +1,69 @@
+// Shared harness for the paper-reproduction benchmarks.
+//
+// Each bench binary regenerates one table or figure of the paper. They all
+// share the experiment profile (ICNET_PROFILE=ci|paper), the SAT-attack
+// labeled datasets (cached under ./bench_cache so later binaries reuse the
+// attacks run by earlier ones), and the model-evaluation helpers.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ic/circuit/netlist.hpp"
+#include "ic/data/dataset.hpp"
+#include "ic/data/profile.hpp"
+#include "ic/nn/regressor.hpp"
+
+namespace icbench {
+
+using ic::data::Dataset;
+using ic::data::ExperimentProfile;
+
+/// The experiment's main circuit (1529 gates in the paper profile).
+ic::circuit::Netlist main_circuit(const ExperimentProfile& profile);
+
+/// Dataset 1 / Dataset 2 of §IV.A, cached on disk.
+Dataset dataset1(const ExperimentProfile& profile);
+Dataset dataset2(const ExperimentProfile& profile);
+
+/// Which graph model; mirrors the paper's rows.
+enum class GnnVariant { Gcn, ChebNet, ICNet };
+
+const char* variant_name(GnnVariant variant);
+
+/// Train a GNN on the dataset's train split and return test MSE.
+/// `readout` Sum/Mean are the fixed aggregations, Attention is the "-NN"
+/// row. Deterministic per (variant, readout, features, profile).
+double evaluate_gnn(const Dataset& dataset, const ic::data::Split& split,
+                    GnnVariant variant, ic::nn::Readout readout,
+                    ic::data::FeatureSet features,
+                    const ExperimentProfile& profile);
+
+/// Fit one classic baseline on the flattened encoding; returns test MSE.
+/// Throws std::runtime_error where the estimator is inapplicable (rendered
+/// as "N/A" by the caller).
+double evaluate_baseline(const std::string& name, const Dataset& dataset,
+                         const ic::data::Split& split,
+                         ic::data::FeatureSet features,
+                         ic::data::Aggregation aggregation);
+
+/// Print the full Table I/II model matrix for a dataset.
+void print_regression_table(const std::string& title, const Dataset& dataset,
+                            const ExperimentProfile& profile);
+
+/// Train the ICNet-NN configuration and return the fitted model plus the
+/// split used (for figure/case-study benches).
+struct TrainedICNet {
+  std::unique_ptr<ic::nn::GnnRegressor> model;
+  std::vector<ic::nn::GraphSample> train;
+  std::vector<ic::nn::GraphSample> test;
+  std::vector<std::size_t> test_indices;
+};
+TrainedICNet train_icnet_nn(const Dataset& dataset,
+                            const ExperimentProfile& profile,
+                            ic::data::FeatureSet features);
+
+/// Format helper: fixed 4 decimals or scientific for huge/N-A values.
+std::string cell(double v);
+
+}  // namespace icbench

@@ -1,0 +1,63 @@
+// Reproduces Figure 3 of the paper: predicted vs. real runtime series on
+// the Dataset 1 test split under the All-features setting, for the
+// competitive baselines and ICNet-NN. Each block prints "index real pred"
+// rows (log-scale targets), i.e. the data behind each subplot.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "ic/data/metrics.hpp"
+#include "ic/ml/regressor.hpp"
+#include "ic/nn/trainer.hpp"
+
+int main() {
+  const auto profile = icbench::ExperimentProfile::from_env();
+  std::printf("=== Figure 3: predictions vs real values (Dataset 1, All features) ===\n");
+  const auto ds = icbench::dataset1(profile);
+  const auto split = ic::data::split_indices(ds.instances.size(), 0.2, 99);
+  const auto y = ds.log_targets();
+  const auto ytest = ic::data::take(y, split.test);
+
+  // (a)–(i): the vector baselines of the figure.
+  const std::vector<std::string> baselines{"EN",  "LASSO",    "LR",
+                                           "OMP", "RR",       "SGD",
+                                           "SVR_POLY", "SVR_RBF", "Theil"};
+  const auto x = ic::data::flatten_dataset(ds, ic::data::FeatureSet::All,
+                                           ic::data::StructureKind::Adjacency,
+                                           ic::data::Aggregation::Sum);
+  const auto xtrain = ic::data::take_rows(x, split.train);
+  const auto xtest = ic::data::take_rows(x, split.test);
+  const auto ytrain = ic::data::take(y, split.train);
+
+  for (const auto& name : baselines) {
+    std::printf("\n--- %s ---\n", name.c_str());
+    try {
+      auto model = ic::ml::make_regressor(name, 555);
+      model->fit(xtrain, ytrain);
+      const auto pred = model->predict(xtest);
+      for (std::size_t i = 0; i < pred.size(); ++i) {
+        std::printf("%3zu %10.4f %14.4f\n", i, ytest[i], pred[i]);
+      }
+      std::printf("MSE(%s) = %s\n", name.c_str(),
+                  icbench::cell(ic::data::mse(pred, ytest)).c_str());
+    } catch (const std::runtime_error& e) {
+      std::printf("N/A (%s)\n", e.what());
+    }
+  }
+
+  // (j): ICNet-NN.
+  std::printf("\n--- ICNet-NN ---\n");
+  auto trained = icbench::train_icnet_nn(ds, profile, ic::data::FeatureSet::All);
+  const auto pred = ic::nn::predict_all(*trained.model, trained.test);
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    std::printf("%3zu %10.4f %14.4f\n", i, trained.test[i].target, pred[i]);
+  }
+  std::vector<double> targets;
+  for (const auto& s : trained.test) targets.push_back(s.target);
+  std::printf("MSE(ICNet-NN) = %s\n",
+              icbench::cell(ic::data::mse(pred, targets)).c_str());
+  std::printf("\nShape expectation from the paper: OMP/SGD near-constant "
+              "outputs, SVR(RBF) saturates on large runtimes, EN/LASSO "
+              "mis-scaled trends, LR/RR/SVR(Poly)/Theil noisy-but-correlated, "
+              "ICNet-NN tracks the real series closest.\n");
+  return 0;
+}

@@ -1,0 +1,115 @@
+// Google-benchmark microbenchmarks for the substrates: word-parallel
+// simulation, Tseitin encoding + SAT solving, sparse propagation, and a
+// full ICNet forward pass. These are throughput numbers, not paper tables.
+#include <benchmark/benchmark.h>
+
+#include "ic/attack/encode.hpp"
+#include "ic/circuit/generator.hpp"
+#include "ic/circuit/library.hpp"
+#include "ic/circuit/simulator.hpp"
+#include "ic/data/dataset.hpp"
+#include "ic/nn/regressor.hpp"
+#include "ic/support/rng.hpp"
+
+namespace {
+
+ic::circuit::Netlist bench_circuit(std::size_t gates) {
+  ic::circuit::GeneratorSpec spec;
+  spec.num_gates = gates;
+  spec.num_inputs = 32;
+  spec.num_outputs = 16;
+  spec.seed = 7;
+  return ic::circuit::generate_circuit(spec, "perf");
+}
+
+void BM_SimulatorWords(benchmark::State& state) {
+  const auto nl = bench_circuit(static_cast<std::size_t>(state.range(0)));
+  ic::circuit::Simulator sim(nl);
+  ic::Rng rng(1);
+  std::vector<std::uint64_t> in(nl.num_inputs());
+  for (auto& w : in) w = rng.engine()();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.eval_words(in));
+  }
+  // 64 patterns per call.
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_SimulatorWords)->Arg(256)->Arg(1024);
+
+void BM_SimulatorScalar(benchmark::State& state) {
+  const auto nl = bench_circuit(static_cast<std::size_t>(state.range(0)));
+  ic::circuit::Simulator sim(nl);
+  std::vector<bool> in(nl.num_inputs(), true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.eval(in));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SimulatorScalar)->Arg(256)->Arg(1024);
+
+void BM_TseitinEncode(benchmark::State& state) {
+  const auto nl = bench_circuit(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    ic::sat::Solver solver;
+    benchmark::DoNotOptimize(ic::attack::encode_netlist(nl, solver));
+  }
+}
+BENCHMARK(BM_TseitinEncode)->Arg(256)->Arg(1024);
+
+void BM_SolveEquivalenceMiter(benchmark::State& state) {
+  // UNSAT self-miter: two shared-input copies can never differ.
+  const auto nl = bench_circuit(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    ic::sat::Solver solver;
+    const auto e1 = ic::attack::encode_netlist(nl, solver);
+    ic::attack::EncodeShared sh;
+    sh.inputs = e1.input_vars;
+    const auto e2 = ic::attack::encode_netlist(nl, solver, sh);
+    std::vector<ic::sat::Lit> any;
+    for (std::size_t o = 0; o < e1.output_vars.size(); ++o) {
+      const auto d = solver.new_var();
+      const auto a = e1.output_vars[o];
+      const auto b = e2.output_vars[o];
+      solver.add_clause({ic::sat::neg(d), ic::sat::pos(a), ic::sat::pos(b)});
+      solver.add_clause({ic::sat::neg(d), ic::sat::neg(a), ic::sat::neg(b)});
+      solver.add_clause({ic::sat::pos(d), ic::sat::neg(a), ic::sat::pos(b)});
+      solver.add_clause({ic::sat::pos(d), ic::sat::pos(a), ic::sat::neg(b)});
+      any.push_back(ic::sat::pos(d));
+    }
+    solver.add_clause(any);
+    benchmark::DoNotOptimize(solver.solve());
+  }
+}
+BENCHMARK(BM_SolveEquivalenceMiter)->Arg(128)->Arg(256);
+
+void BM_SparsePropagation(benchmark::State& state) {
+  const auto nl = bench_circuit(static_cast<std::size_t>(state.range(0)));
+  const auto s = ic::data::make_structure(nl, ic::data::StructureKind::Adjacency);
+  ic::Rng rng(3);
+  const auto x = ic::graph::Matrix::random_normal(nl.size(), 16, 1.0, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s->spmm(x));
+  }
+}
+BENCHMARK(BM_SparsePropagation)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_ICNetForward(benchmark::State& state) {
+  const auto nl = bench_circuit(static_cast<std::size_t>(state.range(0)));
+  const auto s = ic::data::make_structure(nl, ic::data::StructureKind::Adjacency);
+  ic::nn::GnnConfig cfg;
+  cfg.in_features = 7;
+  cfg.hidden = {16, 8};
+  cfg.readout = ic::nn::Readout::Attention;
+  ic::nn::GnnRegressor model(cfg);
+  ic::Rng rng(5);
+  const auto x = ic::graph::Matrix::random_uniform(nl.size(), 7, 1.0, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.predict(*s, x));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ICNetForward)->Arg(256)->Arg(1529)->Arg(4096);
+
+}  // namespace
+
+BENCHMARK_MAIN();

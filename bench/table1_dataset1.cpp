@@ -1,0 +1,15 @@
+// Reproduces Table I of the paper: regression MSE on Dataset 1 (encrypted
+// gate count spanning the full range) for every baseline and graph model,
+// under {Location, All-features} × {Sum, Mean} encodings.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main() {
+  const auto profile = icbench::ExperimentProfile::from_env();
+  std::printf("=== Table I: Regression Performance (MSE) on Dataset 1 ===\n");
+  const auto ds = icbench::dataset1(profile);
+  icbench::print_regression_table("Dataset 1 (1..max encrypted gates)", ds,
+                                  profile);
+  return 0;
+}

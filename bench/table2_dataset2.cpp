@@ -1,0 +1,14 @@
+// Reproduces Table II of the paper: regression MSE on Dataset 2 (1..3
+// encrypted gates — the small-value regime).
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main() {
+  const auto profile = icbench::ExperimentProfile::from_env();
+  std::printf("=== Table II: Regression Performance (MSE) on Dataset 2 ===\n");
+  const auto ds = icbench::dataset2(profile);
+  icbench::print_regression_table("Dataset 2 (1..3 encrypted gates)", ds,
+                                  profile);
+  return 0;
+}

@@ -1,0 +1,198 @@
+// icnet_cli — command-line front-end over the whole library, working on
+// standard .bench netlists so it composes with external EDA tooling.
+//
+//   icnet_cli lock    <in.bench> <out.bench> --scheme lut4|xor|antisat
+//                     [--gates N] [--width M] [--seed S]
+//   icnet_cli attack  <locked.bench> <oracle.bench> [--max-conflicts N]
+//   icnet_cli dataset <circuit.bench> <out.dataset> [--instances N]
+//                     [--min K] [--max K] [--seed S]
+//   icnet_cli train   <circuit.bench> <in.dataset> <out.model>
+//   icnet_cli predict <circuit.bench> <in.model> --select "12,57,101"
+//
+// Exit code 0 on success; errors go to stderr.
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "ic/attack/sat_attack.hpp"
+#include "ic/circuit/bench_io.hpp"
+#include "ic/core/estimator.hpp"
+#include "ic/data/dataset_io.hpp"
+#include "ic/locking/anti_sat.hpp"
+#include "ic/locking/lut_lock.hpp"
+#include "ic/locking/policy.hpp"
+#include "ic/locking/xor_lock.hpp"
+#include "ic/support/strings.hpp"
+
+namespace {
+
+struct Args {
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> options;
+};
+
+Args parse_args(int argc, char** argv, int skip) {
+  Args args;
+  for (int i = skip; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind("--", 0) == 0) {
+      const std::string key = a.substr(2);
+      if (i + 1 < argc) {
+        args.options[key] = argv[++i];
+      } else {
+        ic::input_error("option --" + key + " needs a value");
+      }
+    } else {
+      args.positional.push_back(a);
+    }
+  }
+  return args;
+}
+
+std::string opt(const Args& a, const std::string& key, const std::string& dflt) {
+  const auto it = a.options.find(key);
+  return it == a.options.end() ? dflt : it->second;
+}
+
+int cmd_lock(const Args& a) {
+  IC_CHECK(a.positional.size() == 2, "lock needs <in.bench> <out.bench>");
+  const auto original = ic::circuit::read_bench_file(a.positional[0]);
+  const std::string scheme = opt(a, "scheme", "lut4");
+  const std::size_t gates = std::stoul(opt(a, "gates", "4"));
+  const std::uint64_t seed = std::stoull(opt(a, "seed", "1"));
+
+  ic::circuit::Netlist locked;
+  std::vector<bool> key;
+  if (scheme == "lut4") {
+    const auto sel = ic::locking::select_gates(
+        original, gates, ic::locking::SelectionPolicy::Random, seed);
+    auto r = ic::locking::lut_lock(original, sel, {4, seed});
+    locked = std::move(r.locked);
+    key = std::move(r.correct_key);
+  } else if (scheme == "xor") {
+    const auto sel = ic::locking::select_gates(
+        original, gates, ic::locking::SelectionPolicy::Random, seed);
+    auto r = ic::locking::xor_lock(original, sel, {0.5, seed});
+    locked = std::move(r.locked);
+    key = std::move(r.correct_key);
+  } else if (scheme == "antisat") {
+    const std::size_t width = std::stoul(opt(a, "width", "6"));
+    const auto target = ic::locking::select_gates(
+        original, 1, ic::locking::SelectionPolicy::FanoutWeighted, seed)[0];
+    auto r = ic::locking::anti_sat_lock(original, target, {width, seed});
+    locked = std::move(r.locked);
+    key = std::move(r.correct_key);
+  } else {
+    ic::input_error("unknown scheme '" + scheme + "' (lut4|xor|antisat)");
+  }
+  ic::circuit::write_bench_file(locked, a.positional[1]);
+  std::printf("locked netlist: %s (%zu key bits)\ncorrect key: ",
+              a.positional[1].c_str(), locked.num_keys());
+  for (bool b : key) std::printf("%d", b ? 1 : 0);
+  std::printf("\n");
+  return 0;
+}
+
+int cmd_attack(const Args& a) {
+  IC_CHECK(a.positional.size() == 2, "attack needs <locked.bench> <oracle.bench>");
+  const auto locked = ic::circuit::read_bench_file(a.positional[0]);
+  const auto oracle_netlist = ic::circuit::read_bench_file(a.positional[1]);
+  ic::attack::NetlistOracle oracle(oracle_netlist);
+  ic::attack::AttackOptions options;
+  options.max_conflicts = std::stoull(opt(a, "max-conflicts", "0"));
+  const auto r = ic::attack::sat_attack(locked, oracle, options);
+  if (!r.success) {
+    std::fprintf(stderr, "attack failed (cap hit: %s) after %zu DIPs\n",
+                 r.hit_cap ? "yes" : "no", r.iterations);
+    return 1;
+  }
+  std::printf("key: ");
+  for (bool b : r.key) std::printf("%d", b ? 1 : 0);
+  std::printf("\nDIPs %zu, conflicts %llu, propagations %llu, wall %.3fs, "
+              "modeled %.4fs\n",
+              r.iterations, static_cast<unsigned long long>(r.conflicts),
+              static_cast<unsigned long long>(r.propagations), r.wall_seconds,
+              r.estimated_seconds());
+  const std::size_t mism = ic::attack::verify_key(locked, r.key, oracle_netlist);
+  std::printf("verification: %zu mismatches\n", mism);
+  return mism == 0 ? 0 : 1;
+}
+
+int cmd_dataset(const Args& a) {
+  IC_CHECK(a.positional.size() == 2, "dataset needs <circuit.bench> <out.dataset>");
+  const auto circuit = ic::circuit::read_bench_file(a.positional[0]);
+  ic::data::DatasetOptions options;
+  options.num_instances = std::stoul(opt(a, "instances", "60"));
+  options.min_gates = std::stoul(opt(a, "min", "1"));
+  options.max_gates = std::stoul(opt(a, "max", "16"));
+  options.attack.max_conflicts = 50000;
+  options.seed = std::stoull(opt(a, "seed", "1"));
+  const auto ds = ic::data::generate_dataset(circuit, options);
+  ic::data::save_dataset(ds, a.positional[1]);
+  std::printf("wrote %zu labeled instances to %s\n", ds.instances.size(),
+              a.positional[1].c_str());
+  return 0;
+}
+
+int cmd_train(const Args& a) {
+  IC_CHECK(a.positional.size() == 3,
+           "train needs <circuit.bench> <in.dataset> <out.model>");
+  const auto circuit = ic::circuit::read_bench_file(a.positional[0]);
+  const auto ds = ic::data::load_dataset(circuit, a.positional[1]);
+  ic::core::EstimatorOptions options;
+  options.train.max_epochs = std::stoul(opt(a, "epochs", "400"));
+  ic::core::RuntimeEstimator estimator(options);
+  const auto report = estimator.fit(ds);
+  estimator.save(a.positional[2]);
+  std::printf("trained %zu epochs (train MSE %.4f); model saved to %s\n",
+              report.epochs_run, report.final_train_mse, a.positional[2].c_str());
+  return 0;
+}
+
+int cmd_predict(const Args& a) {
+  IC_CHECK(a.positional.size() == 2, "predict needs <circuit.bench> <in.model>");
+  const auto circuit = ic::circuit::read_bench_file(a.positional[0]);
+  ic::core::EstimatorOptions options;
+  ic::core::RuntimeEstimator estimator(options);
+  estimator.load(a.positional[1]);
+  estimator.set_circuit(circuit);
+  std::vector<ic::circuit::GateId> selection;
+  for (const auto& tok : ic::split(opt(a, "select", ""), ", ")) {
+    selection.push_back(static_cast<ic::circuit::GateId>(std::stoul(tok)));
+  }
+  IC_CHECK(!selection.empty(), "predict needs --select \"id,id,...\"");
+  std::printf("predicted de-obfuscation runtime: %.6f s (log-label %.4f)\n",
+              estimator.predict_seconds(selection),
+              estimator.predict_log_runtime(selection));
+  return 0;
+}
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: icnet_cli <lock|attack|dataset|train|predict> ...\n"
+               "see the header of examples/icnet_cli.cpp for details\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  try {
+    const Args args = parse_args(argc, argv, 2);
+    if (cmd == "lock") return cmd_lock(args);
+    if (cmd == "attack") return cmd_attack(args);
+    if (cmd == "dataset") return cmd_dataset(args);
+    if (cmd == "train") return cmd_train(args);
+    if (cmd == "predict") return cmd_predict(args);
+    usage();
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

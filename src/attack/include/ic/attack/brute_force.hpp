@@ -1,0 +1,37 @@
+// Brute-force key search — the naive attacker the paper's introduction
+// contrasts with the SAT attack ("attackers can just brute force all the
+// possible combinations"). Practical only for small key counts; included as
+// the baseline that motivates everything else, and as an oracle-free
+// cross-check for the SAT attack on tiny instances.
+#pragma once
+
+#include <cstdint>
+
+#include "ic/attack/oracle.hpp"
+#include "ic/circuit/netlist.hpp"
+
+namespace ic::attack {
+
+struct BruteForceOptions {
+  /// Random probe patterns per candidate key (64 per word). A candidate
+  /// surviving all probes is then confirmed against every earlier response.
+  std::size_t probe_words = 4;
+  /// Refuse to enumerate more than 2^max_key_bits keys.
+  std::size_t max_key_bits = 24;
+  std::uint64_t seed = 1;
+};
+
+struct BruteForceResult {
+  bool success = false;
+  std::vector<bool> key;
+  std::uint64_t keys_tried = 0;
+  std::uint64_t oracle_queries = 0;
+};
+
+/// Enumerate keys until one reproduces the oracle on all probe patterns.
+/// Throws std::runtime_error if the key space exceeds the configured bound.
+BruteForceResult brute_force_attack(const circuit::Netlist& locked,
+                                    Oracle& oracle,
+                                    const BruteForceOptions& options = {});
+
+}  // namespace ic::attack

@@ -1,0 +1,52 @@
+// Tseitin encoding of a netlist into a SAT solver's clause database.
+//
+// Each gate gets a solver variable constrained to equal its Boolean function
+// of the fanin variables. Primary-input and key variables can be shared with
+// a previous encoding (that is how the attack builds its two-key miter and
+// its per-DIP oracle-consistency copies).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "ic/circuit/netlist.hpp"
+#include "ic/sat/solver.hpp"
+
+namespace ic::attack {
+
+struct CircuitEncoding {
+  std::vector<sat::Var> gate_vars;    ///< indexed by GateId
+  std::vector<sat::Var> input_vars;   ///< primary_inputs() order
+  std::vector<sat::Var> key_vars;     ///< key_inputs() order
+  std::vector<sat::Var> output_vars;  ///< outputs() order
+};
+
+struct EncodeShared {
+  /// When set, reuse these variables for the primary inputs / key inputs
+  /// instead of creating fresh ones. Sizes must match the netlist.
+  std::optional<std::vector<sat::Var>> inputs;
+  std::optional<std::vector<sat::Var>> keys;
+
+  /// Cone-of-influence reduction: gates with a known constant value are
+  /// mapped to `const_true` / `const_false` (solver variables the caller has
+  /// unit-fixed) and emit no clauses. Size must match the netlist; Undef
+  /// means "encode normally". Requires both constant vars.
+  const std::vector<sat::LBool>* fixed_values = nullptr;
+  sat::Var const_true = sat::kNoVar;
+  sat::Var const_false = sat::kNoVar;
+
+  /// Structural sharing: gates where `reuse_mask` is true take their
+  /// variable from `reuse_gate_vars` (a previous encoding of the same
+  /// netlist with the same input variables) and emit no clauses. Used for
+  /// the miter's second copy, whose key-independent half is identical to
+  /// the first copy's.
+  const std::vector<sat::Var>* reuse_gate_vars = nullptr;
+  const std::vector<bool>* reuse_mask = nullptr;
+};
+
+/// Encode `netlist` into `solver`. Adds O(gates) variables and clauses.
+CircuitEncoding encode_netlist(const circuit::Netlist& netlist,
+                               sat::Solver& solver,
+                               const EncodeShared& shared = {});
+
+}  // namespace ic::attack

@@ -1,0 +1,50 @@
+// Attack oracle: the functioning (activated) chip the attacker owns.
+//
+// The paper's threat model gives the attacker black-box input/output access
+// to an unlocked IC. Here that chip is the original netlist simulated
+// in-process; the interface is virtual so a test can substitute a slow,
+// faulty, or counting oracle.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ic/circuit/netlist.hpp"
+#include "ic/circuit/simulator.hpp"
+
+namespace ic::attack {
+
+class Oracle {
+ public:
+  virtual ~Oracle() = default;
+  virtual std::size_t num_inputs() const = 0;
+  virtual std::size_t num_outputs() const = 0;
+  /// Apply an input pattern to the chip and observe the outputs.
+  virtual std::vector<bool> query(const std::vector<bool>& inputs) = 0;
+  /// Number of times query() has been called.
+  virtual std::uint64_t query_count() const = 0;
+};
+
+/// Oracle backed by simulating an unlocked netlist.
+class NetlistOracle final : public Oracle {
+ public:
+  explicit NetlistOracle(const circuit::Netlist& unlocked)
+      : netlist_(unlocked), simulator_(netlist_) {}
+
+  std::size_t num_inputs() const override { return netlist_.num_inputs(); }
+  std::size_t num_outputs() const override { return netlist_.num_outputs(); }
+
+  std::vector<bool> query(const std::vector<bool>& inputs) override {
+    ++queries_;
+    return simulator_.eval(inputs);
+  }
+
+  std::uint64_t query_count() const override { return queries_; }
+
+ private:
+  circuit::Netlist netlist_;  // owned copy: the oracle is self-contained
+  circuit::Simulator simulator_;
+  std::uint64_t queries_ = 0;
+};
+
+}  // namespace ic::attack

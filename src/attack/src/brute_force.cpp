@@ -1,0 +1,52 @@
+#include "ic/attack/brute_force.hpp"
+
+#include "ic/circuit/simulator.hpp"
+#include "ic/support/assert.hpp"
+#include "ic/support/rng.hpp"
+
+namespace ic::attack {
+
+using circuit::Netlist;
+
+BruteForceResult brute_force_attack(const Netlist& locked, Oracle& oracle,
+                                    const BruteForceOptions& options) {
+  IC_ASSERT(locked.num_keys() > 0);
+  IC_ASSERT(oracle.num_inputs() == locked.num_inputs());
+  const std::size_t kbits = locked.num_keys();
+  IC_CHECK(kbits <= options.max_key_bits,
+           "brute force over " << kbits << " key bits exceeds the 2^"
+                               << options.max_key_bits << " bound");
+
+  // Collect probe patterns and oracle responses once.
+  Rng rng(options.seed);
+  BruteForceResult result;
+  std::vector<std::vector<bool>> probes;
+  std::vector<std::vector<bool>> responses;
+  for (std::size_t w = 0; w < options.probe_words * 64; ++w) {
+    std::vector<bool> in(locked.num_inputs());
+    for (std::size_t i = 0; i < in.size(); ++i) in[i] = rng.bernoulli(0.5);
+    responses.push_back(oracle.query(in));
+    ++result.oracle_queries;
+    probes.push_back(std::move(in));
+  }
+
+  const circuit::Simulator sim(locked);
+  std::vector<bool> key(kbits);
+  for (std::uint64_t candidate = 0; candidate < (std::uint64_t{1} << kbits);
+       ++candidate) {
+    ++result.keys_tried;
+    for (std::size_t b = 0; b < kbits; ++b) key[b] = (candidate >> b) & 1u;
+    bool consistent = true;
+    for (std::size_t p = 0; p < probes.size() && consistent; ++p) {
+      consistent = sim.eval(probes[p], key) == responses[p];
+    }
+    if (consistent) {
+      result.success = true;
+      result.key = key;
+      return result;
+    }
+  }
+  return result;  // no key reproduces the oracle: wrong oracle or netlist
+}
+
+}  // namespace ic::attack

@@ -1,0 +1,213 @@
+#include "ic/attack/encode.hpp"
+
+#include "ic/support/assert.hpp"
+
+namespace ic::attack {
+
+using circuit::Gate;
+using circuit::GateId;
+using circuit::GateKind;
+using circuit::Netlist;
+using sat::Lit;
+using sat::Solver;
+using sat::Var;
+
+namespace {
+
+// y ↔ AND(fanins) — and the negated-output variant for NAND.
+void encode_and(Solver& s, Var y, const std::vector<Var>& f, bool negate) {
+  const Lit ylit = negate ? sat::neg(y) : sat::pos(y);
+  std::vector<Lit> big;
+  big.reserve(f.size() + 1);
+  for (Var a : f) {
+    s.add_clause({~ylit, sat::pos(a)});
+    big.push_back(sat::neg(a));
+  }
+  big.push_back(ylit);
+  s.add_clause(std::move(big));
+}
+
+// y ↔ OR(fanins) — and the negated-output variant for NOR.
+void encode_or(Solver& s, Var y, const std::vector<Var>& f, bool negate) {
+  const Lit ylit = negate ? sat::neg(y) : sat::pos(y);
+  std::vector<Lit> big;
+  big.reserve(f.size() + 1);
+  for (Var a : f) {
+    s.add_clause({ylit, sat::neg(a)});
+    big.push_back(sat::pos(a));
+  }
+  big.push_back(~ylit);
+  s.add_clause(std::move(big));
+}
+
+// t ↔ a XOR b (4 clauses).
+void encode_xor2(Solver& s, Var t, Var a, Var b) {
+  s.add_clause({sat::neg(t), sat::pos(a), sat::pos(b)});
+  s.add_clause({sat::neg(t), sat::neg(a), sat::neg(b)});
+  s.add_clause({sat::pos(t), sat::neg(a), sat::pos(b)});
+  s.add_clause({sat::pos(t), sat::pos(a), sat::neg(b)});
+}
+
+// y ↔ XOR(fanins) folded pairwise; `negate` makes it XNOR.
+void encode_xor(Solver& s, Var y, const std::vector<Var>& f, bool negate) {
+  IC_ASSERT(f.size() >= 2);
+  Var acc = f[0];
+  for (std::size_t i = 1; i + 1 < f.size(); ++i) {
+    const Var t = s.new_var();
+    encode_xor2(s, t, acc, f[i]);
+    acc = t;
+  }
+  const Var last = f.back();
+  if (!negate) {
+    encode_xor2(s, y, acc, last);
+  } else {
+    // y ↔ ¬(acc ⊕ last): same four clauses with y's sign flipped.
+    s.add_clause({sat::pos(y), sat::pos(acc), sat::pos(last)});
+    s.add_clause({sat::pos(y), sat::neg(acc), sat::neg(last)});
+    s.add_clause({sat::neg(y), sat::neg(acc), sat::pos(last)});
+    s.add_clause({sat::neg(y), sat::pos(acc), sat::neg(last)});
+  }
+}
+
+// Equality / inverter.
+void encode_buf(Solver& s, Var y, Var a, bool negate) {
+  if (!negate) {
+    s.add_clause({sat::neg(y), sat::pos(a)});
+    s.add_clause({sat::pos(y), sat::neg(a)});
+  } else {
+    s.add_clause({sat::neg(y), sat::neg(a)});
+    s.add_clause({sat::pos(y), sat::pos(a)});
+  }
+}
+
+// y ↔ LUT(address = fanins). For each address m, selecting it implies the
+// output equals the m-th truth bit (a key variable or a constant).
+void encode_lut(Solver& s, Var y, const std::vector<Var>& f, const Gate& g,
+                const std::vector<Var>& key_vars) {
+  const std::size_t rows = std::size_t{1} << f.size();
+  for (std::size_t m = 0; m < rows; ++m) {
+    std::vector<Lit> base;
+    base.reserve(f.size() + 2);
+    for (std::size_t b = 0; b < f.size(); ++b) {
+      // ¬(fanin pattern matches m): literal that is FALSE when bit b of the
+      // address equals bit b of m.
+      base.push_back(((m >> b) & 1u) ? sat::neg(f[b]) : sat::pos(f[b]));
+    }
+    if (g.key_base >= 0) {
+      const Var k = key_vars[static_cast<std::size_t>(g.key_base) + m];
+      // sel_m ∧ k → y   and   sel_m ∧ ¬k → ¬y
+      std::vector<Lit> c1 = base;
+      c1.push_back(sat::neg(k));
+      c1.push_back(sat::pos(y));
+      s.add_clause(std::move(c1));
+      std::vector<Lit> c2 = base;
+      c2.push_back(sat::pos(k));
+      c2.push_back(sat::neg(y));
+      s.add_clause(std::move(c2));
+    } else {
+      std::vector<Lit> c = base;
+      c.push_back(g.lut_truth[m] ? sat::pos(y) : sat::neg(y));
+      s.add_clause(std::move(c));
+    }
+  }
+}
+
+}  // namespace
+
+CircuitEncoding encode_netlist(const Netlist& nl, Solver& solver,
+                               const EncodeShared& shared) {
+  CircuitEncoding enc;
+  enc.gate_vars.assign(nl.size(), sat::kNoVar);
+
+  if (shared.inputs) {
+    IC_ASSERT_MSG(shared.inputs->size() == nl.num_inputs(),
+                  "shared input vector size mismatch");
+  }
+  if (shared.keys) {
+    IC_ASSERT_MSG(shared.keys->size() == nl.num_keys(),
+                  "shared key vector size mismatch");
+  }
+
+  if (shared.fixed_values != nullptr) {
+    IC_ASSERT_MSG(shared.fixed_values->size() == nl.size(),
+                  "fixed_values size mismatch");
+    IC_ASSERT_MSG(shared.const_true != sat::kNoVar &&
+                      shared.const_false != sat::kNoVar,
+                  "fixed_values requires const_true/const_false vars");
+  }
+  if (shared.reuse_mask != nullptr) {
+    IC_ASSERT_MSG(shared.reuse_gate_vars != nullptr &&
+                      shared.reuse_mask->size() == nl.size() &&
+                      shared.reuse_gate_vars->size() == nl.size(),
+                  "reuse_mask/reuse_gate_vars size mismatch");
+  }
+  auto fixed_var = [&](GateId id) -> Var {
+    if (shared.fixed_values == nullptr) return sat::kNoVar;
+    switch ((*shared.fixed_values)[id]) {
+      case sat::LBool::True: return shared.const_true;
+      case sat::LBool::False: return shared.const_false;
+      case sat::LBool::Undef: return sat::kNoVar;
+    }
+    return sat::kNoVar;
+  };
+
+  // Sources first so key_vars is complete before any LUT is encoded.
+  for (std::size_t i = 0; i < nl.num_inputs(); ++i) {
+    const GateId id = nl.primary_inputs()[i];
+    Var v = fixed_var(id);
+    if (v == sat::kNoVar) {
+      v = shared.inputs ? (*shared.inputs)[i] : solver.new_var();
+    }
+    enc.gate_vars[id] = v;
+    enc.input_vars.push_back(v);
+  }
+  for (std::size_t i = 0; i < nl.num_keys(); ++i) {
+    const Var v = shared.keys ? (*shared.keys)[i] : solver.new_var();
+    enc.gate_vars[nl.key_inputs()[i]] = v;
+    enc.key_vars.push_back(v);
+  }
+
+  for (GateId id : nl.topological_order()) {
+    const Gate& g = nl.gate(id);
+    if (!circuit::is_logic(g.kind)) continue;
+    if (shared.reuse_mask != nullptr && (*shared.reuse_mask)[id]) {
+      const Var r = (*shared.reuse_gate_vars)[id];
+      IC_ASSERT_MSG(r != sat::kNoVar, "reused gate var is unset");
+      enc.gate_vars[id] = r;
+      continue;
+    }
+    if (const Var f = fixed_var(id); f != sat::kNoVar) {
+      enc.gate_vars[id] = f;
+      continue;
+    }
+    const Var y = solver.new_var();
+    enc.gate_vars[id] = y;
+    std::vector<Var> f;
+    f.reserve(g.fanins.size());
+    for (GateId fin : g.fanins) {
+      IC_ASSERT(enc.gate_vars[fin] != sat::kNoVar);
+      f.push_back(enc.gate_vars[fin]);
+    }
+    switch (g.kind) {
+      case GateKind::Buf: encode_buf(solver, y, f[0], false); break;
+      case GateKind::Not: encode_buf(solver, y, f[0], true); break;
+      case GateKind::And: encode_and(solver, y, f, false); break;
+      case GateKind::Nand: encode_and(solver, y, f, true); break;
+      case GateKind::Or: encode_or(solver, y, f, false); break;
+      case GateKind::Nor: encode_or(solver, y, f, true); break;
+      case GateKind::Xor: encode_xor(solver, y, f, false); break;
+      case GateKind::Xnor: encode_xor(solver, y, f, true); break;
+      case GateKind::Lut: encode_lut(solver, y, f, g, enc.key_vars); break;
+      default:
+        IC_ASSERT_MSG(false, "unexpected gate kind in encoding");
+    }
+  }
+
+  for (GateId id : nl.outputs()) {
+    IC_ASSERT(enc.gate_vars[id] != sat::kNoVar);
+    enc.output_vars.push_back(enc.gate_vars[id]);
+  }
+  return enc;
+}
+
+}  // namespace ic::attack

@@ -1,0 +1,3 @@
+// NetlistOracle is header-only; this anchor keeps the library non-empty and
+// provides a home for future hardware-backed oracle implementations.
+#include "ic/attack/oracle.hpp"

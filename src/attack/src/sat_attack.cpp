@@ -1,0 +1,193 @@
+#include "ic/attack/sat_attack.hpp"
+
+#include "ic/attack/encode.hpp"
+#include "ic/circuit/simulator.hpp"
+#include "ic/support/assert.hpp"
+#include "ic/support/timer.hpp"
+
+namespace ic::attack {
+
+using circuit::Netlist;
+using sat::Lit;
+using sat::Result;
+using sat::Solver;
+using sat::Var;
+
+AttackResult sat_attack(const Netlist& locked, Oracle& oracle,
+                        const AttackOptions& options) {
+  IC_ASSERT_MSG(locked.num_keys() > 0, "netlist has no key inputs to attack");
+  IC_ASSERT(oracle.num_inputs() == locked.num_inputs());
+  IC_ASSERT(oracle.num_outputs() == locked.num_outputs());
+
+  AttackResult result;
+  Timer timer;
+  Solver solver(options.solver_config);
+
+  // Cone of influence of the key bits: only gates downstream of a
+  // key-programmed LUT (or a key input feeding ordinary logic) can depend
+  // on the key. Everything outside the cone is identical in both miter
+  // copies and is fully determined by the DIP in the consistency copies.
+  std::vector<bool> key_dependent(locked.size(), false);
+  for (circuit::GateId id : locked.topological_order()) {
+    const auto& g = locked.gate(id);
+    if (g.kind == circuit::GateKind::KeyInput) {
+      key_dependent[id] = true;
+      continue;
+    }
+    if (g.kind == circuit::GateKind::Lut && g.key_base >= 0) {
+      key_dependent[id] = true;
+      continue;
+    }
+    for (circuit::GateId f : g.fanins) {
+      if (key_dependent[f]) {
+        key_dependent[id] = true;
+        break;
+      }
+    }
+  }
+
+  // Constant vars used by the cone-reduced encodings.
+  const Var const_true = solver.new_var();
+  const Var const_false = solver.new_var();
+  solver.add_clause({sat::pos(const_true)});
+  solver.add_clause({sat::neg(const_false)});
+
+  // Two copies sharing inputs and the entire key-independent half, with
+  // independent keys.
+  const CircuitEncoding enc1 = encode_netlist(locked, solver);
+  EncodeShared shared;
+  shared.inputs = enc1.input_vars;
+  shared.reuse_gate_vars = &enc1.gate_vars;
+  std::vector<bool> reuse_mask(locked.size());
+  for (std::size_t i = 0; i < locked.size(); ++i) {
+    reuse_mask[i] = !key_dependent[i];
+  }
+  shared.reuse_mask = &reuse_mask;
+  const CircuitEncoding enc2 = encode_netlist(locked, solver, shared);
+
+  // Miter: act → OR_i (y1_i ⊕ y2_i), restricted to key-dependent outputs —
+  // the others are the same variable in both copies and can never differ.
+  const Var act = solver.new_var();
+  std::vector<Lit> any_diff;
+  any_diff.push_back(sat::neg(act));
+  for (std::size_t i = 0; i < enc1.output_vars.size(); ++i) {
+    if (!key_dependent[locked.outputs()[i]]) continue;
+    const Var d = solver.new_var();
+    const Var a = enc1.output_vars[i];
+    const Var b = enc2.output_vars[i];
+    // d ↔ a ⊕ b
+    solver.add_clause({sat::neg(d), sat::pos(a), sat::pos(b)});
+    solver.add_clause({sat::neg(d), sat::neg(a), sat::neg(b)});
+    solver.add_clause({sat::pos(d), sat::neg(a), sat::pos(b)});
+    solver.add_clause({sat::pos(d), sat::pos(a), sat::neg(b)});
+    any_diff.push_back(sat::pos(d));
+  }
+  solver.add_clause(std::move(any_diff));
+
+  // Simulator for folding the key-independent values of each DIP.
+  const circuit::Simulator locked_sim(locked);
+  const std::vector<bool> zero_key(locked.num_keys(), false);
+
+  auto remaining_budget = [&]() -> std::uint64_t {
+    if (options.max_conflicts == 0) return 0;
+    const std::uint64_t used = solver.stats().conflicts;
+    return used >= options.max_conflicts ? 1 : options.max_conflicts - used;
+  };
+
+  auto snapshot_stats = [&]() {
+    result.conflicts = solver.stats().conflicts;
+    result.propagations = solver.stats().propagations;
+    result.decisions = solver.stats().decisions;
+    result.oracle_queries = oracle.query_count();
+    result.wall_seconds = timer.seconds();
+  };
+
+  std::vector<bool> dip(locked.num_inputs());
+  for (;;) {
+    if (options.max_iterations != 0 && result.iterations >= options.max_iterations) {
+      result.hit_cap = true;
+      snapshot_stats();
+      return result;
+    }
+    if (options.max_conflicts != 0 &&
+        solver.stats().conflicts >= options.max_conflicts) {
+      result.hit_cap = true;
+      snapshot_stats();
+      return result;
+    }
+    if (options.max_wall_seconds > 0.0 &&
+        timer.seconds() >= options.max_wall_seconds) {
+      result.hit_cap = true;
+      snapshot_stats();
+      return result;
+    }
+
+    solver.set_max_conflicts(remaining_budget());
+    const Result r = solver.solve({sat::pos(act)});
+
+    if (r == Result::Unknown) {
+      result.hit_cap = true;
+      snapshot_stats();
+      return result;
+    }
+    if (r == Result::Unsat) break;  // no more DIPs: keys are fixed
+
+    // Extract the DIP and query the oracle.
+    for (std::size_t i = 0; i < dip.size(); ++i) {
+      dip[i] = solver.model_value(enc1.input_vars[i]);
+    }
+    const std::vector<bool> response = oracle.query(dip);
+    ++result.iterations;
+
+    // Constrain both key copies to reproduce the oracle response on the
+    // DIP. Only the key-dependent cone is encoded: every other gate's value
+    // under this DIP is key-independent and folded to a constant.
+    std::vector<sat::LBool> fixed(locked.size(), sat::LBool::Undef);
+    const auto dip_values = locked_sim.eval_all(dip, zero_key);
+    for (std::size_t g = 0; g < locked.size(); ++g) {
+      if (!key_dependent[g]) {
+        fixed[g] = sat::lbool_from(dip_values[g]);
+      }
+    }
+    for (const auto* keys : {&enc1.key_vars, &enc2.key_vars}) {
+      EncodeShared sh;
+      sh.keys = *keys;
+      sh.fixed_values = &fixed;
+      sh.const_true = const_true;
+      sh.const_false = const_false;
+      const CircuitEncoding copy = encode_netlist(locked, solver, sh);
+      for (std::size_t i = 0; i < response.size(); ++i) {
+        // Key-independent outputs are const vars and the unit is dropped as
+        // satisfied (the simulation matches the oracle there by
+        // construction).
+        solver.add_clause({Lit(copy.output_vars[i], !response[i])});
+      }
+    }
+  }
+
+  // Miter UNSAT: extract any key satisfying the accumulated constraints.
+  solver.set_max_conflicts(remaining_budget());
+  const Result r = solver.solve({sat::neg(act)});
+  if (r != Result::Sat) {
+    // Either the conflict budget ran out during extraction or the locked
+    // netlist is inconsistent with the oracle (wrong oracle).
+    result.hit_cap = (r == Result::Unknown);
+    snapshot_stats();
+    return result;
+  }
+  result.key.resize(locked.num_keys());
+  for (std::size_t i = 0; i < result.key.size(); ++i) {
+    result.key[i] = solver.model_value(enc1.key_vars[i]);
+  }
+  result.success = true;
+  snapshot_stats();
+  return result;
+}
+
+std::size_t verify_key(const Netlist& locked, const std::vector<bool>& key,
+                       const Netlist& unlocked, std::size_t words,
+                       std::uint64_t seed) {
+  return circuit::count_output_mismatches(locked, key, unlocked, {}, words, seed);
+}
+
+}  // namespace ic::attack

@@ -1,0 +1,40 @@
+// Netlist ⇄ BDD bridge: exact symbolic analysis of (locked) circuits.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "ic/bdd/manager.hpp"
+#include "ic/circuit/netlist.hpp"
+
+namespace ic::bdd {
+
+/// Build the BDD of every primary output of `netlist` over its primary
+/// inputs. Key inputs are substituted with the given constant key (which
+/// must be provided iff the netlist has key inputs). Variable order is the
+/// primary-input order. Throws when the node limit is exceeded.
+std::vector<NodeRef> build_outputs(Manager& manager,
+                                   const circuit::Netlist& netlist,
+                                   const std::vector<bool>& key = {});
+
+/// Exact combinational equivalence of two netlists with equal PI/PO counts
+/// (keys substituted as constants).
+bool equivalent(const circuit::Netlist& a, const std::vector<bool>& key_a,
+                const circuit::Netlist& b, const std::vector<bool>& key_b,
+                std::size_t node_limit = 1u << 22);
+
+/// Exact output-corruption rate of a wrong key: the fraction of the input
+/// space on which `locked` under `key` differs from `reference` on at least
+/// one output. 0.0 means the key is functionally correct; the logic-locking
+/// literature uses this as the security/observability metric.
+double corruption_rate(const circuit::Netlist& locked,
+                       const std::vector<bool>& key,
+                       const circuit::Netlist& reference,
+                       std::size_t node_limit = 1u << 22);
+
+/// A concrete input pattern on which the two netlists differ, if any.
+std::optional<std::vector<bool>> find_difference(
+    const circuit::Netlist& locked, const std::vector<bool>& key,
+    const circuit::Netlist& reference, std::size_t node_limit = 1u << 22);
+
+}  // namespace ic::bdd

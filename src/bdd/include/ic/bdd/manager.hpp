@@ -1,0 +1,84 @@
+// Reduced ordered binary decision diagrams (ROBDDs).
+//
+// A compact Bryant-style BDD package: unique table for canonicity, memoized
+// ITE for all Boolean operations, and exact model counting. Canonicity makes
+// equivalence checking O(1) after construction, which gives the locking
+// analyses *exact* answers (key correctness, output corruption rates) where
+// simulation can only sample — on circuits small enough for BDDs to fit.
+#pragma once
+
+#include <cstdint>
+#include <array>
+#include <unordered_map>
+#include <vector>
+
+#include "ic/support/assert.hpp"
+
+namespace ic::bdd {
+
+/// Node handle. 0 and 1 are the terminal constants; handles are canonical:
+/// two functions are equal iff their handles are equal.
+using NodeRef = std::uint32_t;
+
+inline constexpr NodeRef kFalse = 0;
+inline constexpr NodeRef kTrue = 1;
+
+class Manager {
+ public:
+  /// `num_vars` fixes the variable order (index == level, 0 on top).
+  /// `node_limit` bounds memory; exceeding it throws std::runtime_error so
+  /// callers can fall back to SAT/simulation.
+  explicit Manager(std::size_t num_vars, std::size_t node_limit = 1u << 22);
+
+  std::size_t num_vars() const { return num_vars_; }
+  std::size_t node_count() const { return nodes_.size(); }
+
+  /// The function of a single input variable.
+  NodeRef var(std::size_t index);
+
+  // ---- Boolean operations (all memoized, all canonical) -------------------
+  NodeRef ite(NodeRef f, NodeRef g, NodeRef h);
+  NodeRef apply_not(NodeRef f) { return ite(f, kFalse, kTrue); }
+  NodeRef apply_and(NodeRef f, NodeRef g) { return ite(f, g, kFalse); }
+  NodeRef apply_or(NodeRef f, NodeRef g) { return ite(f, kTrue, g); }
+  NodeRef apply_xor(NodeRef f, NodeRef g) { return ite(f, apply_not(g), g); }
+  NodeRef apply_xnor(NodeRef f, NodeRef g) { return ite(f, g, apply_not(g)); }
+
+  /// Evaluate under a full assignment (index = variable).
+  bool eval(NodeRef f, const std::vector<bool>& assignment) const;
+
+  /// Exact fraction of the 2^num_vars assignments satisfying f, in [0, 1].
+  double sat_fraction(NodeRef f);
+
+  /// One satisfying assignment (preconditions: f != kFalse). Unset
+  /// variables default to false.
+  std::vector<bool> any_sat(NodeRef f) const;
+
+  /// Number of live (reachable-or-not) nodes including terminals; for tests
+  /// of reduction: building the same function twice must not grow this.
+  std::size_t size() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    std::uint32_t level;  // == variable index; terminals use num_vars_
+    NodeRef low, high;
+  };
+
+  NodeRef make_node(std::uint32_t level, NodeRef low, NodeRef high);
+  std::uint32_t level(NodeRef f) const { return nodes_[f].level; }
+
+  std::size_t num_vars_;
+  std::size_t node_limit_;
+  std::vector<Node> nodes_;
+
+  struct TripleHash {
+    std::size_t operator()(const std::array<std::uint64_t, 2>& k) const {
+      return std::hash<std::uint64_t>()(k[0] * 0x9E3779B97F4A7C15ull ^ k[1]);
+    }
+  };
+  std::unordered_map<std::array<std::uint64_t, 2>, NodeRef, TripleHash> unique_;
+  std::unordered_map<std::array<std::uint64_t, 2>, NodeRef, TripleHash> ite_cache_;
+  std::unordered_map<NodeRef, double> count_cache_;
+};
+
+}  // namespace ic::bdd

@@ -1,0 +1,144 @@
+#include "ic/bdd/circuit_bdd.hpp"
+
+#include "ic/support/assert.hpp"
+
+namespace ic::bdd {
+
+using circuit::Gate;
+using circuit::GateId;
+using circuit::GateKind;
+using circuit::Netlist;
+
+std::vector<NodeRef> build_outputs(Manager& m, const Netlist& nl,
+                                   const std::vector<bool>& key) {
+  IC_ASSERT(m.num_vars() >= nl.num_inputs());
+  IC_ASSERT_MSG(key.size() == nl.num_keys(),
+                "netlist has " << nl.num_keys() << " key bits, got " << key.size());
+
+  std::vector<NodeRef> node(nl.size(), kFalse);
+  for (std::size_t i = 0; i < nl.num_inputs(); ++i) {
+    node[nl.primary_inputs()[i]] = m.var(i);
+  }
+  for (std::size_t i = 0; i < nl.num_keys(); ++i) {
+    node[nl.key_inputs()[i]] = key[i] ? kTrue : kFalse;
+  }
+
+  for (GateId id : nl.topological_order()) {
+    const Gate& g = nl.gate(id);
+    if (!circuit::is_logic(g.kind)) continue;
+    std::vector<NodeRef> f;
+    f.reserve(g.fanins.size());
+    for (GateId fin : g.fanins) f.push_back(node[fin]);
+    NodeRef out = kFalse;
+    switch (g.kind) {
+      case GateKind::Buf:
+        out = f[0];
+        break;
+      case GateKind::Not:
+        out = m.apply_not(f[0]);
+        break;
+      case GateKind::And: {
+        out = f[0];
+        for (std::size_t i = 1; i < f.size(); ++i) out = m.apply_and(out, f[i]);
+        break;
+      }
+      case GateKind::Nand: {
+        out = f[0];
+        for (std::size_t i = 1; i < f.size(); ++i) out = m.apply_and(out, f[i]);
+        out = m.apply_not(out);
+        break;
+      }
+      case GateKind::Or: {
+        out = f[0];
+        for (std::size_t i = 1; i < f.size(); ++i) out = m.apply_or(out, f[i]);
+        break;
+      }
+      case GateKind::Nor: {
+        out = f[0];
+        for (std::size_t i = 1; i < f.size(); ++i) out = m.apply_or(out, f[i]);
+        out = m.apply_not(out);
+        break;
+      }
+      case GateKind::Xor: {
+        out = f[0];
+        for (std::size_t i = 1; i < f.size(); ++i) out = m.apply_xor(out, f[i]);
+        break;
+      }
+      case GateKind::Xnor: {
+        out = f[0];
+        for (std::size_t i = 1; i < f.size(); ++i) out = m.apply_xor(out, f[i]);
+        out = m.apply_not(out);
+        break;
+      }
+      case GateKind::Lut: {
+        // Shannon expansion over the address space: OR of (minterm ∧ bit).
+        const std::size_t rows = std::size_t{1} << f.size();
+        out = kFalse;
+        for (std::size_t address = 0; address < rows; ++address) {
+          const bool bit = g.key_base >= 0
+                               ? key[static_cast<std::size_t>(g.key_base) + address]
+                               : static_cast<bool>(g.lut_truth[address]);
+          if (!bit) continue;
+          NodeRef minterm = kTrue;
+          for (std::size_t b = 0; b < f.size(); ++b) {
+            const NodeRef lit = ((address >> b) & 1u) ? f[b] : m.apply_not(f[b]);
+            minterm = m.apply_and(minterm, lit);
+          }
+          out = m.apply_or(out, minterm);
+        }
+        break;
+      }
+      default:
+        IC_ASSERT_MSG(false, "unexpected gate kind in BDD build");
+    }
+    node[id] = out;
+  }
+
+  std::vector<NodeRef> outputs;
+  outputs.reserve(nl.num_outputs());
+  for (GateId id : nl.outputs()) outputs.push_back(node[id]);
+  return outputs;
+}
+
+namespace {
+
+/// BDD of "any output differs" for two netlists over shared inputs.
+NodeRef difference_bdd(Manager& m, const Netlist& a, const std::vector<bool>& key_a,
+                       const Netlist& b, const std::vector<bool>& key_b) {
+  IC_ASSERT(a.num_inputs() == b.num_inputs());
+  IC_ASSERT(a.num_outputs() == b.num_outputs());
+  const auto oa = build_outputs(m, a, key_a);
+  const auto ob = build_outputs(m, b, key_b);
+  NodeRef any = kFalse;
+  for (std::size_t i = 0; i < oa.size(); ++i) {
+    any = m.apply_or(any, m.apply_xor(oa[i], ob[i]));
+  }
+  return any;
+}
+
+}  // namespace
+
+bool equivalent(const Netlist& a, const std::vector<bool>& key_a,
+                const Netlist& b, const std::vector<bool>& key_b,
+                std::size_t node_limit) {
+  Manager m(a.num_inputs(), node_limit);
+  return difference_bdd(m, a, key_a, b, key_b) == kFalse;
+}
+
+double corruption_rate(const Netlist& locked, const std::vector<bool>& key,
+                       const Netlist& reference, std::size_t node_limit) {
+  Manager m(locked.num_inputs(), node_limit);
+  return m.sat_fraction(difference_bdd(m, locked, key, reference, {}));
+}
+
+std::optional<std::vector<bool>> find_difference(const Netlist& locked,
+                                                 const std::vector<bool>& key,
+                                                 const Netlist& reference,
+                                                 std::size_t node_limit) {
+  Manager m(locked.num_inputs(), node_limit);
+  const NodeRef diff = difference_bdd(m, locked, key, reference, {});
+  if (diff == kFalse) return std::nullopt;
+  return m.any_sat(diff);
+}
+
+}  // namespace ic::bdd

@@ -1,0 +1,97 @@
+#include "ic/bdd/manager.hpp"
+
+#include <algorithm>
+
+namespace ic::bdd {
+
+Manager::Manager(std::size_t num_vars, std::size_t node_limit)
+    : num_vars_(num_vars), node_limit_(node_limit) {
+  IC_ASSERT(num_vars < (1u << 24));
+  const auto terminal_level = static_cast<std::uint32_t>(num_vars_);
+  nodes_.push_back({terminal_level, kFalse, kFalse});  // node 0 = false
+  nodes_.push_back({terminal_level, kTrue, kTrue});    // node 1 = true
+}
+
+NodeRef Manager::make_node(std::uint32_t level, NodeRef low, NodeRef high) {
+  if (low == high) return low;  // reduction rule
+  const std::array<std::uint64_t, 2> key{
+      (static_cast<std::uint64_t>(level) << 32) | low, high};
+  const auto it = unique_.find(key);
+  if (it != unique_.end()) return it->second;
+  IC_CHECK(nodes_.size() < node_limit_,
+           "BDD node limit (" << node_limit_ << ") exceeded");
+  const NodeRef ref = static_cast<NodeRef>(nodes_.size());
+  nodes_.push_back({level, low, high});
+  unique_.emplace(key, ref);
+  return ref;
+}
+
+NodeRef Manager::var(std::size_t index) {
+  IC_ASSERT(index < num_vars_);
+  return make_node(static_cast<std::uint32_t>(index), kFalse, kTrue);
+}
+
+NodeRef Manager::ite(NodeRef f, NodeRef g, NodeRef h) {
+  // Terminal cases.
+  if (f == kTrue) return g;
+  if (f == kFalse) return h;
+  if (g == h) return g;
+  if (g == kTrue && h == kFalse) return f;
+
+  const std::array<std::uint64_t, 2> key{
+      (static_cast<std::uint64_t>(f) << 32) | g, h};
+  const auto it = ite_cache_.find(key);
+  if (it != ite_cache_.end()) return it->second;
+
+  const std::uint32_t top =
+      std::min({level(f), level(g), level(h)});
+  auto cofactor = [&](NodeRef n, bool positive) {
+    if (level(n) != top) return n;  // n does not depend on the top variable
+    return positive ? nodes_[n].high : nodes_[n].low;
+  };
+  const NodeRef high = ite(cofactor(f, true), cofactor(g, true), cofactor(h, true));
+  const NodeRef low = ite(cofactor(f, false), cofactor(g, false), cofactor(h, false));
+  const NodeRef result = make_node(top, low, high);
+  ite_cache_.emplace(key, result);
+  return result;
+}
+
+bool Manager::eval(NodeRef f, const std::vector<bool>& assignment) const {
+  IC_ASSERT(assignment.size() >= num_vars_);
+  while (f > kTrue) {
+    const Node& n = nodes_[f];
+    f = assignment[n.level] ? n.high : n.low;
+  }
+  return f == kTrue;
+}
+
+double Manager::sat_fraction(NodeRef f) {
+  // frac(node) = (frac(low) + frac(high)) / 2 is order- and skip-agnostic:
+  // a skipped variable contributes the same factor to both halves.
+  if (f == kFalse) return 0.0;
+  if (f == kTrue) return 1.0;
+  const auto it = count_cache_.find(f);
+  if (it != count_cache_.end()) return it->second;
+  const double result =
+      0.5 * (sat_fraction(nodes_[f].low) + sat_fraction(nodes_[f].high));
+  count_cache_.emplace(f, result);
+  return result;
+}
+
+std::vector<bool> Manager::any_sat(NodeRef f) const {
+  IC_ASSERT_MSG(f != kFalse, "any_sat of the constant-false function");
+  std::vector<bool> assignment(num_vars_, false);
+  while (f > kTrue) {
+    const Node& n = nodes_[f];
+    if (n.high != kFalse) {
+      assignment[n.level] = true;
+      f = n.high;
+    } else {
+      assignment[n.level] = false;
+      f = n.low;
+    }
+  }
+  return assignment;
+}
+
+}  // namespace ic::bdd

@@ -1,0 +1,84 @@
+// And-Inverter Graph (AIG) — the canonical modern logic-synthesis data
+// structure: two-input AND nodes plus complemented edges. Conversion to AIG
+// normalizes a netlist's mixed gate alphabet; structural hashing merges
+// duplicate logic; converting back yields an AND/NOT-only netlist.
+//
+// Uses: technology-independent size metric (AIG node count), structural
+// deduplication beyond optimize()'s local rules, and a normal form for
+// comparing netlists.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "ic/circuit/netlist.hpp"
+
+namespace ic::circuit {
+
+/// AIG edge: node index with a complement bit. Node 0 is constant FALSE, so
+/// Lit{0, true} is constant TRUE.
+struct AigLit {
+  std::uint32_t node = 0;
+  bool complement = false;
+
+  bool operator==(const AigLit&) const = default;
+};
+
+class Aig {
+ public:
+  Aig() { nodes_.push_back({0, false, 0, false, true}); }  // constant node
+
+  static AigLit constant(bool value) { return {0, value}; }
+
+  /// Add a primary-input node.
+  AigLit add_input();
+
+  /// Structurally-hashed AND of two literals (applies the usual constant
+  /// and idempotence rules before allocating).
+  AigLit land(AigLit a, AigLit b);
+
+  AigLit lnot(AigLit a) const { return {a.node, !a.complement}; }
+  AigLit lor(AigLit a, AigLit b) { return lnot(land(lnot(a), lnot(b))); }
+  AigLit lxor(AigLit a, AigLit b) {
+    return lor(land(a, lnot(b)), land(lnot(a), b));
+  }
+
+  std::size_t num_inputs() const { return inputs_.size(); }
+  /// AND-node count (the standard AIG size metric; excludes inputs/const).
+  std::size_t num_ands() const { return nodes_.size() - 1 - inputs_.size(); }
+
+  /// Evaluate a literal under an input assignment (index = input order).
+  bool eval(AigLit lit, const std::vector<bool>& inputs) const;
+
+ private:
+  struct Node {
+    std::uint32_t fanin0 = 0;
+    bool comp0 = false;
+    std::uint32_t fanin1 = 0;
+    bool comp1 = false;
+    bool is_terminal = false;  // constant or input
+  };
+
+  std::vector<Node> nodes_;
+  std::vector<std::uint32_t> inputs_;
+  std::unordered_map<std::uint64_t, std::uint32_t> strash_;
+
+  friend struct AigCircuit;
+};
+
+/// A netlist lowered to an AIG: the graph plus its output literals.
+struct AigCircuit {
+  Aig aig;
+  std::vector<AigLit> outputs;
+
+  /// Lower a key-free netlist (use locking::apply_key first). Every gate
+  /// kind is decomposed into hashed AND/NOT structure.
+  static AigCircuit from_netlist(const Netlist& netlist);
+
+  /// Raise back to a netlist of AND2/NOT gates (plus constant drivers when
+  /// an output folded to a constant). Functionally equivalent to the source.
+  Netlist to_netlist(const std::string& name = "aig") const;
+};
+
+}  // namespace ic::circuit

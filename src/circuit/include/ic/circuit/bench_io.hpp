@@ -1,0 +1,36 @@
+// ISCAS-85 ".bench" format reader/writer.
+//
+// Grammar (as used by the ISCAS benchmarks and the HOST'15 attack tooling):
+//   # comment
+//   INPUT(name)
+//   OUTPUT(name)
+//   name = KIND(a, b, ...)
+// Extensions understood by this reader:
+//   * inputs whose name starts with "keyinput" become KeyInput gates (the
+//     convention used by logic-locking tool flows);
+//   * "name = LUT 0xBEEF (a, b, ...)" fixed-function LUTs (hex truth table,
+//     bit i of the constant = output for address i);
+//   * "name = KLUT <key_base> (a, b, ...)" key-programmed LUTs.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "ic/circuit/netlist.hpp"
+
+namespace ic::circuit {
+
+/// Parse a netlist from .bench text. Throws std::runtime_error with a line
+/// number on malformed input. `name` becomes the netlist name.
+Netlist parse_bench(std::string_view text, std::string name = "bench");
+
+/// Read and parse a .bench file.
+Netlist read_bench_file(const std::string& path);
+
+/// Serialize to .bench text (round-trips through parse_bench).
+std::string write_bench(const Netlist& netlist);
+
+/// Write to a file. Throws on I/O failure.
+void write_bench_file(const Netlist& netlist, const std::string& path);
+
+}  // namespace ic::circuit

@@ -1,0 +1,40 @@
+// Synthetic ISCAS-like combinational circuit generator.
+//
+// The paper's experiments run on fixed ISCAS-85 netlists (the main circuit
+// has 1529 gates). The generator produces seeded random DAG circuits whose
+// gate alphabet ({AND, NOR, NOT, NAND, OR, XOR}), fan-in distribution and
+// layered topology mirror those benchmarks, so the SAT-attack hardness
+// mechanisms (key interference, fan-in cones, reconvergence) are exercised
+// the same way. See DESIGN.md §3 for the substitution rationale.
+#pragma once
+
+#include <cstdint>
+
+#include "ic/circuit/netlist.hpp"
+
+namespace ic::circuit {
+
+struct GeneratorSpec {
+  std::size_t num_inputs = 32;
+  std::size_t num_outputs = 16;
+  /// Target number of logic gates (the generator hits this exactly).
+  std::size_t num_gates = 256;
+  /// Fraction of gates that are inverters (ISCAS circuits are NOT-heavy).
+  double not_fraction = 0.15;
+  /// Fraction of XOR among the multi-input gates (parity structure makes
+  /// SAT instances harder, as in c499/c1355).
+  double xor_fraction = 0.10;
+  /// Locality: probability that a fanin is drawn from the most recent
+  /// window of gates rather than uniformly from all predecessors. Produces
+  /// the layered, mostly-local wiring of synthesized circuits.
+  double locality = 0.8;
+  std::size_t locality_window = 64;
+  std::uint64_t seed = 1;
+};
+
+/// Generate a valid combinational netlist per the spec. Postconditions:
+/// validate() passes, every gate lies on a path to some output, logic gate
+/// count equals spec.num_gates.
+Netlist generate_circuit(const GeneratorSpec& spec, std::string name = "synthetic");
+
+}  // namespace ic::circuit

@@ -1,0 +1,36 @@
+// Built-in benchmark circuits.
+//
+// c17 is the real ISCAS-85 netlist (6 NAND gates). The remaining entries are
+// seeded synthetic stand-ins matched to the published gate counts of the
+// ISCAS-85 circuits the paper evaluates (see DESIGN.md §3: the real suite is
+// not redistributable here; the generator reproduces size, gate alphabet and
+// topology statistics). `paper_main()` is the 1529-gate circuit used for the
+// paper's Dataset 1 / Dataset 2 experiments.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ic/circuit/netlist.hpp"
+
+namespace ic::circuit {
+
+/// The genuine ISCAS-85 c17 benchmark (5 inputs, 2 outputs, 6 NAND gates).
+Netlist c17();
+
+/// The paper's main experimental circuit: 1529 logic gates.
+Netlist paper_main();
+
+/// Synthetic stand-ins for the Table III case-study circuits.
+Netlist c499_like();   ///< ~202 gates, XOR-heavy (error-correcting circuit)
+Netlist c1355_like();  ///< ~546 gates, XOR-heavy (c499 with expanded XORs)
+Netlist c2670_like();  ///< ~1193 gates
+Netlist c7553_like();  ///< ~3512 gates (the paper's "c7553" ≈ c7552)
+
+/// Name → netlist for every built-in circuit.
+Netlist circuit_by_name(const std::string& name);
+
+/// Names accepted by circuit_by_name.
+std::vector<std::string> library_circuit_names();
+
+}  // namespace ic::circuit

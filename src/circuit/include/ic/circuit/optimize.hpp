@@ -1,0 +1,37 @@
+// Netlist cleanup passes.
+//
+// Locking transformations and generator output can leave buffers, redundant
+// fanins and logic with no path to an output. These passes produce a
+// functionally equivalent, compacted netlist — the kind of light technology-
+// independent cleanup every netlist flow runs before analysis.
+//
+// Gate ids are NOT stable across optimize(); the returned mapping links old
+// ids to new ones (kNoGate for removed gates).
+#pragma once
+
+#include <vector>
+
+#include "ic/circuit/netlist.hpp"
+
+namespace ic::circuit {
+
+struct OptimizeStats {
+  std::size_t buffers_elided = 0;    ///< BUF gates bypassed
+  std::size_t inverter_pairs = 0;    ///< NOT(NOT(x)) collapsed
+  std::size_t fanins_deduped = 0;    ///< duplicate AND/OR fanins dropped
+  std::size_t dead_removed = 0;      ///< gates with no path to an output
+};
+
+struct OptimizeResult {
+  Netlist netlist;
+  /// old GateId -> new GateId (kNoGate if the gate was removed). Bypassed
+  /// buffers map to the gate that now carries their signal.
+  std::vector<GateId> remap;
+  OptimizeStats stats;
+};
+
+/// Run all passes to a fixed point. The result is combinationally
+/// equivalent to the input (same PI/PO count and order, same key inputs).
+OptimizeResult optimize(const Netlist& input);
+
+}  // namespace ic::circuit

@@ -1,0 +1,53 @@
+// Combinational simulation.
+//
+// Simulator caches the topological order of a netlist and evaluates primary
+// outputs for given input (and key) assignments. Two modes:
+//   * single-pattern (vector<bool>), used by the SAT-attack oracle;
+//   * 64-way word-parallel, used by equivalence fuzzing and the generator.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ic/circuit/netlist.hpp"
+
+namespace ic::circuit {
+
+class Simulator {
+ public:
+  /// The netlist must outlive the simulator and must not be mutated while
+  /// the simulator is in use (the topological order is captured here).
+  explicit Simulator(const Netlist& netlist);
+
+  const Netlist& netlist() const { return *netlist_; }
+
+  /// Evaluate outputs for one input pattern. `inputs` are in
+  /// primary_inputs() order; `keys` in key_inputs() order (empty is fine for
+  /// unlocked netlists).
+  std::vector<bool> eval(const std::vector<bool>& inputs,
+                         const std::vector<bool>& keys = {}) const;
+
+  /// Word-parallel: every value carries 64 patterns (bit i of every word is
+  /// pattern i). Shapes as in eval().
+  std::vector<std::uint64_t> eval_words(
+      const std::vector<std::uint64_t>& inputs,
+      const std::vector<std::uint64_t>& keys = {}) const;
+
+  /// Values of *all* gates for one pattern (indexed by GateId); useful for
+  /// testing and for fault-style analyses.
+  std::vector<bool> eval_all(const std::vector<bool>& inputs,
+                             const std::vector<bool>& keys = {}) const;
+
+ private:
+  const Netlist* netlist_;
+  std::vector<GateId> order_;
+};
+
+/// Convenience: count how many of 64*`words` random patterns make two
+/// netlists (with equal PI counts) differ on any output. Used for
+/// probabilistic equivalence checking in tests.
+std::size_t count_output_mismatches(const Netlist& a, const std::vector<bool>& keys_a,
+                                    const Netlist& b, const std::vector<bool>& keys_b,
+                                    std::size_t words, std::uint64_t seed);
+
+}  // namespace ic::circuit

@@ -1,0 +1,39 @@
+// Gate-level structural Verilog reader/writer (the subset used by the
+// ISCAS/locking-benchmark distributions):
+//
+//   module c17 (N1, N2, ..., N22, N23);
+//     input N1, N2, N3, N6, N7;
+//     output N22, N23;
+//     wire N10, N11, N16, N19;
+//     nand NAND2_1 (N10, N1, N3);
+//     not  INV_1   (N5, N4);
+//     ...
+//   endmodule
+//
+// Primitive gates: and/nand/or/nor/xor/xnor/not/buf, first terminal is the
+// output. Inputs named keyinput* become key inputs (the logic-locking tool
+// convention, matching the .bench reader). Comments (// and /* */) are
+// stripped. Key-programmable LUTs have no Verilog primitive and are
+// rejected by the writer; resolve keys first.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "ic/circuit/netlist.hpp"
+
+namespace ic::circuit {
+
+/// Parse one structural-Verilog module. Throws std::runtime_error with a
+/// line number on malformed input.
+Netlist parse_verilog(std::string_view text);
+
+Netlist read_verilog_file(const std::string& path);
+
+/// Serialize to structural Verilog (round-trips through parse_verilog).
+/// Preconditions: the netlist has no LUT gates (map them first).
+std::string write_verilog(const Netlist& netlist);
+
+void write_verilog_file(const Netlist& netlist, const std::string& path);
+
+}  // namespace ic::circuit

@@ -1,0 +1,195 @@
+#include "ic/circuit/aig.hpp"
+
+#include <algorithm>
+
+#include "ic/support/assert.hpp"
+
+namespace ic::circuit {
+
+namespace {
+
+std::uint64_t lit_code(AigLit l) {
+  return (static_cast<std::uint64_t>(l.node) << 1) | (l.complement ? 1u : 0u);
+}
+
+}  // namespace
+
+AigLit Aig::add_input() {
+  const auto index = static_cast<std::uint32_t>(nodes_.size());
+  nodes_.push_back({0, false, 0, false, true});
+  inputs_.push_back(index);
+  return {index, false};
+}
+
+AigLit Aig::land(AigLit a, AigLit b) {
+  // Constant rules.
+  const AigLit kFalse = constant(false);
+  const AigLit kTrue = constant(true);
+  if (a == kFalse || b == kFalse) return kFalse;
+  if (a == kTrue) return b;
+  if (b == kTrue) return a;
+  // Idempotence and contradiction.
+  if (a == b) return a;
+  if (a.node == b.node) return kFalse;  // x AND !x
+
+  // Canonical operand order for hashing.
+  if (lit_code(b) < lit_code(a)) std::swap(a, b);
+  const std::uint64_t key = (lit_code(a) << 32) | lit_code(b);
+  const auto it = strash_.find(key);
+  if (it != strash_.end()) return {it->second, false};
+
+  const auto index = static_cast<std::uint32_t>(nodes_.size());
+  nodes_.push_back({a.node, a.complement, b.node, b.complement, false});
+  strash_.emplace(key, index);
+  return {index, false};
+}
+
+bool Aig::eval(AigLit lit, const std::vector<bool>& inputs) const {
+  IC_ASSERT(inputs.size() >= inputs_.size());
+  std::vector<char> value(nodes_.size(), 0);
+  value[0] = 0;  // constant false
+  for (std::size_t i = 0; i < inputs_.size(); ++i) {
+    value[inputs_[i]] = inputs[i] ? 1 : 0;
+  }
+  // Nodes are created in topological order by construction.
+  for (std::size_t n = 1; n < nodes_.size(); ++n) {
+    const Node& node = nodes_[n];
+    if (node.is_terminal) continue;
+    const bool f0 = (value[node.fanin0] != 0) != node.comp0;
+    const bool f1 = (value[node.fanin1] != 0) != node.comp1;
+    value[n] = (f0 && f1) ? 1 : 0;
+  }
+  return (value[lit.node] != 0) != lit.complement;
+}
+
+AigCircuit AigCircuit::from_netlist(const Netlist& nl) {
+  IC_CHECK(nl.num_keys() == 0,
+           "AIG lowering needs a key-free netlist (apply_key first)");
+  AigCircuit out;
+  Aig& g = out.aig;
+
+  std::vector<AigLit> lit(nl.size());
+  for (GateId id : nl.primary_inputs()) lit[id] = g.add_input();
+
+  auto reduce_and = [&](const std::vector<AigLit>& ins) {
+    AigLit acc = ins[0];
+    for (std::size_t i = 1; i < ins.size(); ++i) acc = g.land(acc, ins[i]);
+    return acc;
+  };
+  auto reduce_or = [&](const std::vector<AigLit>& ins) {
+    AigLit acc = ins[0];
+    for (std::size_t i = 1; i < ins.size(); ++i) acc = g.lor(acc, ins[i]);
+    return acc;
+  };
+
+  for (GateId id : nl.topological_order()) {
+    const Gate& gate = nl.gate(id);
+    if (!is_logic(gate.kind)) continue;
+    std::vector<AigLit> ins;
+    ins.reserve(gate.fanins.size());
+    for (GateId f : gate.fanins) ins.push_back(lit[f]);
+
+    switch (gate.kind) {
+      case GateKind::Buf: lit[id] = ins[0]; break;
+      case GateKind::Not: lit[id] = g.lnot(ins[0]); break;
+      case GateKind::And: lit[id] = reduce_and(ins); break;
+      case GateKind::Nand: lit[id] = g.lnot(reduce_and(ins)); break;
+      case GateKind::Or: lit[id] = reduce_or(ins); break;
+      case GateKind::Nor: lit[id] = g.lnot(reduce_or(ins)); break;
+      case GateKind::Xor:
+      case GateKind::Xnor: {
+        AigLit acc = ins[0];
+        for (std::size_t i = 1; i < ins.size(); ++i) acc = g.lxor(acc, ins[i]);
+        lit[id] = gate.kind == GateKind::Xor ? acc : g.lnot(acc);
+        break;
+      }
+      case GateKind::Lut: {
+        // Sum of minterms over the truth table (fixed-function only).
+        AigLit acc = Aig::constant(false);
+        for (std::size_t a = 0; a < gate.lut_truth.size(); ++a) {
+          if (!gate.lut_truth[a]) continue;
+          AigLit minterm = Aig::constant(true);
+          for (std::size_t b = 0; b < ins.size(); ++b) {
+            minterm = g.land(minterm,
+                             ((a >> b) & 1u) ? ins[b] : g.lnot(ins[b]));
+          }
+          acc = g.lor(acc, minterm);
+        }
+        lit[id] = acc;
+        break;
+      }
+      default:
+        IC_ASSERT_MSG(false, "unexpected gate kind in AIG lowering");
+    }
+  }
+
+  out.outputs.reserve(nl.num_outputs());
+  for (GateId o : nl.outputs()) out.outputs.push_back(lit[o]);
+  return out;
+}
+
+Netlist AigCircuit::to_netlist(const std::string& name) const {
+  Netlist nl(name);
+  const auto& nodes = aig.nodes_;
+
+  std::vector<GateId> gate_of(nodes.size(), kNoGate);
+  for (std::size_t i = 0; i < aig.inputs_.size(); ++i) {
+    gate_of[aig.inputs_[i]] = nl.add_input("i" + std::to_string(i));
+  }
+
+  GateId const_false = kNoGate;
+  auto ensure_const_false = [&]() {
+    if (const_false == kNoGate) {
+      IC_ASSERT_MSG(nl.num_inputs() > 0, "constant-only AIG needs an input");
+      const GateId a = nl.primary_inputs()[0];
+      const_false = nl.add_gate(GateKind::Xor, {a, a}, "__const0");
+    }
+    return const_false;
+  };
+
+  // A literal as a netlist signal; inverters are created on demand.
+  std::vector<GateId> inverted(nodes.size(), kNoGate);
+  std::size_t inv_serial = 0;
+  auto signal = [&](AigLit l) -> GateId {
+    GateId base;
+    if (l.node == 0) {
+      base = ensure_const_false();
+      if (!l.complement) return base;
+      if (inverted[0] == kNoGate) {
+        inverted[0] = nl.add_gate(GateKind::Not, {base}, "__const1");
+      }
+      return inverted[0];
+    }
+    base = gate_of[l.node];
+    IC_ASSERT(base != kNoGate);
+    if (!l.complement) return base;
+    if (inverted[l.node] == kNoGate) {
+      inverted[l.node] =
+          nl.add_gate(GateKind::Not, {base}, "n" + std::to_string(inv_serial++) + "_inv");
+    }
+    return inverted[l.node];
+  };
+
+  std::size_t and_serial = 0;
+  for (std::size_t n = 1; n < nodes.size(); ++n) {
+    if (nodes[n].is_terminal) continue;
+    const GateId a = signal({nodes[n].fanin0, nodes[n].comp0});
+    const GateId b = signal({nodes[n].fanin1, nodes[n].comp1});
+    if (a == b) {
+      // AND(x, x) has no 2-input representation here; alias via a buffer.
+      gate_of[n] = nl.add_gate(GateKind::Buf, {a},
+                               "a" + std::to_string(and_serial++));
+    } else {
+      gate_of[n] = nl.add_gate(GateKind::And, {a, b},
+                               "a" + std::to_string(and_serial++));
+    }
+  }
+
+  for (const AigLit& o : outputs) {
+    nl.mark_output(signal(o), /*allow_duplicate=*/true);
+  }
+  nl.validate();
+  return nl;
+}
+
+}  // namespace ic::circuit

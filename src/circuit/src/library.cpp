@@ -1,0 +1,71 @@
+#include "ic/circuit/library.hpp"
+
+#include "ic/circuit/bench_io.hpp"
+#include "ic/circuit/generator.hpp"
+#include "ic/support/assert.hpp"
+
+namespace ic::circuit {
+
+namespace {
+
+// Verbatim ISCAS-85 c17.
+constexpr const char* kC17Bench = R"(# c17 — ISCAS-85
+INPUT(1)
+INPUT(2)
+INPUT(3)
+INPUT(6)
+INPUT(7)
+OUTPUT(22)
+OUTPUT(23)
+10 = NAND(1, 3)
+11 = NAND(3, 6)
+16 = NAND(2, 11)
+19 = NAND(11, 7)
+22 = NAND(10, 16)
+23 = NAND(16, 19)
+)";
+
+Netlist make_synthetic(const char* name, std::size_t gates, std::size_t inputs,
+                       std::size_t outputs, double xor_fraction,
+                       std::uint64_t seed) {
+  GeneratorSpec spec;
+  spec.num_gates = gates;
+  spec.num_inputs = inputs;
+  spec.num_outputs = outputs;
+  spec.xor_fraction = xor_fraction;
+  spec.seed = seed;
+  return generate_circuit(spec, name);
+}
+
+}  // namespace
+
+Netlist c17() { return parse_bench(kC17Bench, "c17"); }
+
+Netlist paper_main() {
+  // 1529 logic gates as reported in §IV.A of the paper.
+  return make_synthetic("paper_main", 1529, 64, 32, 0.10, 0x1C9E7);
+}
+
+Netlist c499_like() { return make_synthetic("c499", 202, 41, 32, 0.40, 499); }
+
+Netlist c1355_like() { return make_synthetic("c1355", 546, 41, 32, 0.35, 1355); }
+
+Netlist c2670_like() { return make_synthetic("c2670", 1193, 157, 64, 0.05, 2670); }
+
+Netlist c7553_like() { return make_synthetic("c7553", 3512, 207, 108, 0.08, 7553); }
+
+Netlist circuit_by_name(const std::string& name) {
+  if (name == "c17") return c17();
+  if (name == "paper_main") return paper_main();
+  if (name == "c499") return c499_like();
+  if (name == "c1355") return c1355_like();
+  if (name == "c2670") return c2670_like();
+  if (name == "c7553") return c7553_like();
+  input_error("unknown library circuit '" + name + "'");
+}
+
+std::vector<std::string> library_circuit_names() {
+  return {"c17", "paper_main", "c499", "c1355", "c2670", "c7553"};
+}
+
+}  // namespace ic::circuit

@@ -1,0 +1,193 @@
+#include "ic/circuit/optimize.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "ic/support/assert.hpp"
+
+namespace ic::circuit {
+
+namespace {
+
+struct PassResult {
+  Netlist netlist;
+  std::vector<GateId> remap;
+  OptimizeStats stats;
+  bool changed = false;
+};
+
+PassResult run_pass(const Netlist& in) {
+  PassResult out;
+  out.remap.assign(in.size(), kNoGate);
+
+  // ---- alias resolution (BUF chains, double inverters) ---------------------
+  // alias[g] = the gate that carries g's signal after elision.
+  std::vector<GateId> alias(in.size(), kNoGate);
+  for (GateId id : in.topological_order()) {
+    const Gate& g = in.gate(id);
+    alias[id] = id;
+    if (g.kind == GateKind::Buf) {
+      alias[id] = alias[g.fanins[0]];
+      ++out.stats.buffers_elided;
+      out.changed = true;
+    } else if (g.kind == GateKind::Not) {
+      const GateId src = alias[g.fanins[0]];
+      const Gate& sg = in.gate(src);
+      if (sg.kind == GateKind::Not) {
+        alias[id] = alias[sg.fanins[0]];
+        ++out.stats.inverter_pairs;
+        out.changed = true;
+      }
+    }
+  }
+
+  // ---- reachability from outputs (through aliases) --------------------------
+  std::vector<bool> live(in.size(), false);
+  std::vector<GateId> stack;
+  for (GateId o : in.outputs()) stack.push_back(alias[o]);
+  while (!stack.empty()) {
+    const GateId id = stack.back();
+    stack.pop_back();
+    if (live[id]) continue;
+    live[id] = true;
+    for (GateId f : in.gate(id).fanins) {
+      const GateId a = alias[f];
+      if (!live[a]) stack.push_back(a);
+    }
+  }
+
+  // ---- rebuild --------------------------------------------------------------
+  Netlist& nl = out.netlist;
+  nl.set_name(in.name());
+  for (GateId id : in.primary_inputs()) {
+    out.remap[id] = nl.add_input(in.gate(id).name);
+  }
+  for (GateId id : in.key_inputs()) {
+    out.remap[id] = nl.add_key_input(in.gate(id).name);
+  }
+
+  for (GateId id : in.topological_order()) {
+    const Gate& g = in.gate(id);
+    if (!is_logic(g.kind)) continue;
+    if (alias[id] != id) continue;  // elided: resolved at use sites
+    if (!live[id]) {
+      ++out.stats.dead_removed;
+      out.changed = true;
+      continue;
+    }
+
+    std::vector<GateId> fanins;
+    fanins.reserve(g.fanins.size());
+    for (GateId f : g.fanins) {
+      const GateId src = alias[f];
+      IC_ASSERT(out.remap[src] != kNoGate);
+      fanins.push_back(out.remap[src]);
+    }
+
+    if (g.kind == GateKind::Lut) {
+      if (g.key_base >= 0) {
+        out.remap[id] = nl.add_key_lut(std::move(fanins), g.key_base, g.name);
+      } else {
+        out.remap[id] = nl.add_fixed_lut(std::move(fanins), g.lut_truth, g.name);
+      }
+      continue;
+    }
+    if (g.kind == GateKind::Not) {
+      out.remap[id] = nl.add_gate(GateKind::Not, {fanins[0]}, g.name);
+      continue;
+    }
+
+    // Duplicate-fanin reduction. AND/OR-family: keep one copy of each
+    // distinct fanin. XOR-family: keep fanins with odd multiplicity (pairs
+    // cancel); degenerating to a constant is left alone (no constant nodes).
+    GateKind kind = g.kind;
+    if (kind == GateKind::And || kind == GateKind::Nand ||
+        kind == GateKind::Or || kind == GateKind::Nor) {
+      std::vector<GateId> unique = fanins;
+      std::sort(unique.begin(), unique.end());
+      unique.erase(std::unique(unique.begin(), unique.end()), unique.end());
+      if (unique.size() < fanins.size()) {
+        out.stats.fanins_deduped += fanins.size() - unique.size();
+        out.changed = true;
+        fanins = std::move(unique);
+      }
+    } else if (kind == GateKind::Xor || kind == GateKind::Xnor) {
+      std::map<GateId, std::size_t> mult;
+      for (GateId f : fanins) ++mult[f];
+      std::vector<GateId> odd;
+      for (const auto& [f, count] : mult) {
+        if (count % 2 == 1) odd.push_back(f);
+      }
+      if (odd.size() >= 2 && odd.size() < fanins.size()) {
+        out.stats.fanins_deduped += fanins.size() - odd.size();
+        out.changed = true;
+        fanins = std::move(odd);
+      } else if (odd.size() == 1 && fanins.size() >= 2 && odd.size() < fanins.size()) {
+        // XOR collapses to the surviving signal; XNOR to its inverse.
+        out.stats.fanins_deduped += fanins.size() - 1;
+        out.changed = true;
+        if (kind == GateKind::Xor) {
+          out.remap[id] = nl.add_gate(GateKind::Buf, {odd[0]}, g.name);
+        } else {
+          out.remap[id] = nl.add_gate(GateKind::Not, {odd[0]}, g.name);
+        }
+        continue;
+      }
+      // odd empty (full cancellation → constant): keep the original shape.
+    }
+
+    if (fanins.size() == 1) {
+      // AND(a)=OR(a)=a; NAND(a)=NOR(a)=NOT a.
+      const bool inverting = kind == GateKind::Nand || kind == GateKind::Nor;
+      out.remap[id] = nl.add_gate(inverting ? GateKind::Not : GateKind::Buf,
+                                  {fanins[0]}, g.name);
+      out.changed = true;
+      continue;
+    }
+    out.remap[id] = nl.add_gate(kind, std::move(fanins), g.name);
+  }
+
+  for (GateId o : in.outputs()) {
+    const GateId mapped = out.remap[alias[o]];
+    IC_ASSERT(mapped != kNoGate);
+    nl.mark_output(mapped, /*allow_duplicate=*/true);
+  }
+  // Map elided gates to their surviving alias for the caller.
+  for (GateId id = 0; id < in.size(); ++id) {
+    if (alias[id] != id && out.remap[id] == kNoGate) {
+      out.remap[id] = out.remap[alias[id]];
+    }
+  }
+  nl.validate();
+  return out;
+}
+
+}  // namespace
+
+OptimizeResult optimize(const Netlist& input) {
+  OptimizeResult result;
+  result.netlist = input;
+  result.remap.resize(input.size());
+  for (GateId id = 0; id < input.size(); ++id) result.remap[id] = id;
+
+  // Iterate to a fixed point: a pass can expose new opportunities (a dedup
+  // that creates a BUF, say).
+  for (int round = 0; round < 8; ++round) {
+    PassResult pass = run_pass(result.netlist);
+    result.stats.buffers_elided += pass.stats.buffers_elided;
+    result.stats.inverter_pairs += pass.stats.inverter_pairs;
+    result.stats.fanins_deduped += pass.stats.fanins_deduped;
+    result.stats.dead_removed += pass.stats.dead_removed;
+    // Compose remaps.
+    for (GateId id = 0; id < input.size(); ++id) {
+      if (result.remap[id] != kNoGate) {
+        result.remap[id] = pass.remap[result.remap[id]];
+      }
+    }
+    result.netlist = std::move(pass.netlist);
+    if (!pass.changed) break;
+  }
+  return result;
+}
+
+}  // namespace ic::circuit

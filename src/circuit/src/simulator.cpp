@@ -1,0 +1,152 @@
+#include "ic/circuit/simulator.hpp"
+
+#include "ic/support/assert.hpp"
+#include "ic/support/rng.hpp"
+
+namespace ic::circuit {
+
+Simulator::Simulator(const Netlist& netlist)
+    : netlist_(&netlist), order_(netlist.topological_order()) {}
+
+namespace {
+
+// Shared evaluation skeleton: Value is bool or uint64_t.
+template <typename Value, typename EvalLogic>
+std::vector<Value> eval_impl(const Netlist& nl, const std::vector<GateId>& order,
+                             const std::vector<Value>& inputs,
+                             const std::vector<Value>& keys, EvalLogic eval_logic) {
+  IC_ASSERT_MSG(inputs.size() == nl.num_inputs(),
+                "simulator: got " << inputs.size() << " inputs, netlist has "
+                                  << nl.num_inputs());
+  IC_ASSERT_MSG(keys.size() == nl.num_keys(),
+                "simulator: got " << keys.size() << " key bits, netlist has "
+                                  << nl.num_keys());
+  std::vector<Value> value(nl.size(), Value{});
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    value[nl.primary_inputs()[i]] = inputs[i];
+  }
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    value[nl.key_inputs()[i]] = keys[i];
+  }
+  std::vector<Value> fanin_vals;
+  for (GateId id : order) {
+    const Gate& g = nl.gate(id);
+    if (!is_logic(g.kind)) continue;
+    fanin_vals.clear();
+    for (GateId f : g.fanins) fanin_vals.push_back(value[f]);
+    value[id] = eval_logic(g, fanin_vals, value, keys);
+  }
+  return value;
+}
+
+bool lut_bit(const Netlist& nl, const Gate& g, std::size_t address,
+             const std::vector<bool>& keys) {
+  if (g.key_base >= 0) {
+    (void)nl;
+    return keys[static_cast<std::size_t>(g.key_base) + address];
+  }
+  return g.lut_truth[address];
+}
+
+}  // namespace
+
+std::vector<bool> Simulator::eval_all(const std::vector<bool>& inputs,
+                                      const std::vector<bool>& keys) const {
+  const Netlist& nl = *netlist_;
+  return eval_impl<bool>(
+      nl, order_, inputs, keys,
+      [&nl](const Gate& g, const std::vector<bool>& fv,
+            const std::vector<bool>& /*all*/, const std::vector<bool>& k) -> bool {
+        if (g.kind == GateKind::Lut) {
+          std::size_t address = 0;
+          for (std::size_t b = 0; b < fv.size(); ++b) {
+            if (fv[b]) address |= std::size_t{1} << b;
+          }
+          return lut_bit(nl, g, address, k);
+        }
+        return eval_gate(g.kind, fv);
+      });
+}
+
+std::vector<bool> Simulator::eval(const std::vector<bool>& inputs,
+                                  const std::vector<bool>& keys) const {
+  const auto all = eval_all(inputs, keys);
+  std::vector<bool> out;
+  out.reserve(netlist_->num_outputs());
+  for (GateId id : netlist_->outputs()) out.push_back(all[id]);
+  return out;
+}
+
+std::vector<std::uint64_t> Simulator::eval_words(
+    const std::vector<std::uint64_t>& inputs,
+    const std::vector<std::uint64_t>& keys) const {
+  const Netlist& nl = *netlist_;
+  const auto all = eval_impl<std::uint64_t>(
+      nl, order_, inputs, keys,
+      [&nl](const Gate& g, const std::vector<std::uint64_t>& fv,
+            const std::vector<std::uint64_t>& /*all*/,
+            const std::vector<std::uint64_t>& k) -> std::uint64_t {
+        if (g.kind == GateKind::Lut) {
+          // Mux the 2^k truth bits by the fanin words, bit-parallel: for
+          // every address, select it where the fanin pattern matches.
+          std::uint64_t out = 0;
+          const std::size_t rows = std::size_t{1} << fv.size();
+          for (std::size_t address = 0; address < rows; ++address) {
+            std::uint64_t match = ~std::uint64_t{0};
+            for (std::size_t b = 0; b < fv.size(); ++b) {
+              match &= ((address >> b) & 1u) ? fv[b] : ~fv[b];
+            }
+            std::uint64_t bit_word;
+            if (g.key_base >= 0) {
+              bit_word = k[static_cast<std::size_t>(g.key_base) + address];
+            } else {
+              bit_word = g.lut_truth[address] ? ~std::uint64_t{0} : 0;
+            }
+            out |= match & bit_word;
+          }
+          return out;
+        }
+        return eval_gate_words(g.kind, fv);
+      });
+  std::vector<std::uint64_t> out;
+  out.reserve(nl.num_outputs());
+  for (GateId id : nl.outputs()) out.push_back(all[id]);
+  return out;
+}
+
+std::size_t count_output_mismatches(const Netlist& a, const std::vector<bool>& keys_a,
+                                    const Netlist& b, const std::vector<bool>& keys_b,
+                                    std::size_t words, std::uint64_t seed) {
+  IC_ASSERT(a.num_inputs() == b.num_inputs());
+  IC_ASSERT(a.num_outputs() == b.num_outputs());
+  Simulator sim_a(a);
+  Simulator sim_b(b);
+  Rng rng(seed);
+
+  // Broadcast scalar keys to words.
+  auto widen = [](const std::vector<bool>& bits) {
+    std::vector<std::uint64_t> w(bits.size());
+    for (std::size_t i = 0; i < bits.size(); ++i) {
+      w[i] = bits[i] ? ~std::uint64_t{0} : 0;
+    }
+    return w;
+  };
+  const auto ka = widen(keys_a);
+  const auto kb = widen(keys_b);
+
+  std::size_t mismatched_patterns = 0;
+  std::vector<std::uint64_t> in(a.num_inputs());
+  for (std::size_t w = 0; w < words; ++w) {
+    for (auto& word : in) {
+      word = static_cast<std::uint64_t>(rng.engine()());
+    }
+    const auto oa = sim_a.eval_words(in, ka);
+    const auto ob = sim_b.eval_words(in, kb);
+    std::uint64_t diff = 0;
+    for (std::size_t i = 0; i < oa.size(); ++i) diff |= oa[i] ^ ob[i];
+    mismatched_patterns += static_cast<std::size_t>(__builtin_popcountll(diff));
+  }
+  return mismatched_patterns;
+}
+
+}  // namespace ic::circuit

@@ -1,0 +1,18 @@
+// Plain-text (de)serialization of GnnRegressor parameters.
+//
+// Format: one header line "icnet-params v1 <count>", then per parameter a
+// line "<rows> <cols>" followed by the row-major values. Loading checks that
+// every shape matches the receiving model, so a file trained with a
+// different architecture fails loudly instead of silently misloading.
+#pragma once
+
+#include <string>
+
+#include "ic/nn/regressor.hpp"
+
+namespace ic::core {
+
+void save_parameters(nn::GnnRegressor& model, const std::string& path);
+void load_parameters(nn::GnnRegressor& model, const std::string& path);
+
+}  // namespace ic::core

@@ -1,0 +1,53 @@
+// Model-selection utilities: k-fold cross-validation over attack-labeled
+// datasets, and a seed-ensemble estimator that reports predictive
+// uncertainty — what a defender needs before trusting the estimator enough
+// to skip real attacks.
+#pragma once
+
+#include <cstdint>
+
+#include "ic/core/estimator.hpp"
+
+namespace ic::core {
+
+struct CrossValidationReport {
+  std::vector<double> fold_mse;  ///< held-out MSE per fold
+  double mean_mse = 0.0;
+  double stddev_mse = 0.0;
+};
+
+/// k-fold cross-validation of an estimator configuration on a dataset.
+/// Folds are a deterministic shuffle of the instances; each fold trains a
+/// fresh estimator on the remaining folds and evaluates on the held-out one.
+CrossValidationReport cross_validate(const EstimatorOptions& options,
+                                     const data::Dataset& dataset,
+                                     std::size_t folds = 5,
+                                     std::uint64_t seed = 1);
+
+/// Bagging-by-seed ensemble of RuntimeEstimators. Member models share the
+/// architecture but differ in initialization and data order; the spread of
+/// their predictions is an uncertainty estimate.
+class EnsembleEstimator {
+ public:
+  explicit EnsembleEstimator(EstimatorOptions options = {},
+                             std::size_t members = 5);
+
+  void fit(const data::Dataset& dataset);
+
+  struct Prediction {
+    double log_runtime = 0.0;  ///< ensemble mean, label scale
+    double seconds = 0.0;      ///< expm1(mean)/1e6
+    double stddev = 0.0;       ///< member disagreement, label scale
+  };
+  Prediction predict(const std::vector<circuit::GateId>& selection);
+
+  double evaluate(const data::Dataset& dataset);
+  std::size_t size() const { return members_.size(); }
+  bool is_fitted() const { return fitted_; }
+
+ private:
+  std::vector<RuntimeEstimator> members_;
+  bool fitted_ = false;
+};
+
+}  // namespace ic::core

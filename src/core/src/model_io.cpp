@@ -1,0 +1,51 @@
+#include "ic/core/model_io.hpp"
+
+#include <fstream>
+#include <iomanip>
+
+#include "ic/support/assert.hpp"
+
+namespace ic::core {
+
+void save_parameters(nn::GnnRegressor& model, const std::string& path) {
+  std::ofstream out(path);
+  IC_CHECK(out.good(), "cannot open '" << path << "' for writing");
+  const auto params = model.parameters();
+  out << "icnet-params v1 " << params.size() << '\n';
+  out << std::setprecision(17);
+  for (const graph::Matrix* p : params) {
+    out << p->rows() << ' ' << p->cols() << '\n';
+    for (std::size_t r = 0; r < p->rows(); ++r) {
+      for (std::size_t c = 0; c < p->cols(); ++c) {
+        out << (*p)(r, c) << (c + 1 == p->cols() ? '\n' : ' ');
+      }
+    }
+  }
+  IC_CHECK(out.good(), "write to '" << path << "' failed");
+}
+
+void load_parameters(nn::GnnRegressor& model, const std::string& path) {
+  std::ifstream in(path);
+  IC_CHECK(in.good(), "cannot open '" << path << "'");
+  std::string magic, version;
+  std::size_t count = 0;
+  in >> magic >> version >> count;
+  IC_CHECK(magic == "icnet-params" && version == "v1",
+           "'" << path << "' is not an icnet parameter file");
+  auto params = model.parameters();
+  IC_CHECK(count == params.size(), "parameter count mismatch: file has "
+                                       << count << ", model expects "
+                                       << params.size());
+  for (graph::Matrix* p : params) {
+    std::size_t rows = 0, cols = 0;
+    in >> rows >> cols;
+    IC_CHECK(rows == p->rows() && cols == p->cols(),
+             "parameter shape mismatch in '" << path << "'");
+    for (std::size_t r = 0; r < rows; ++r) {
+      for (std::size_t c = 0; c < cols; ++c) in >> (*p)(r, c);
+    }
+  }
+  IC_CHECK(!in.fail(), "truncated parameter file '" << path << "'");
+}
+
+}  // namespace ic::core

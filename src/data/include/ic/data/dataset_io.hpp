@@ -1,0 +1,27 @@
+// Dataset (de)serialization.
+//
+// Attack-labeled datasets are expensive to produce (each label is a SAT
+// attack), so the benchmark harness caches them on disk. The format is a
+// line-oriented text file carrying the circuit name, per-instance gate
+// selections, the runtime label, and the attack effort counters.
+#pragma once
+
+#include <string>
+
+#include "ic/data/dataset.hpp"
+
+namespace ic::data {
+
+void save_dataset(const Dataset& dataset, const std::string& path);
+
+/// Load a dataset recorded for `circuit`. Throws if the file is missing,
+/// malformed, or was recorded for a different circuit (checked by name and
+/// gate count).
+Dataset load_dataset(const circuit::Netlist& circuit, const std::string& path);
+
+/// Convenience for benchmarks: load `path` if it exists and matches,
+/// otherwise generate per `options` and save to `path`.
+Dataset load_or_generate(const circuit::Netlist& circuit,
+                         const DatasetOptions& options, const std::string& path);
+
+}  // namespace ic::data

@@ -1,0 +1,26 @@
+// Evaluation metrics: MSE plus the Pearson and Spearman correlations used by
+// the paper's Table III case study.
+#pragma once
+
+#include <vector>
+
+namespace ic::data {
+
+/// Mean squared error between predictions and targets (equal, non-zero size).
+double mse(const std::vector<double>& predictions,
+           const std::vector<double>& targets);
+
+/// Pearson linear correlation coefficient. Returns 0 when either input has
+/// zero variance.
+double pearson(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Spearman rank correlation (Pearson over average ranks; ties averaged).
+double spearman(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Ordinary least squares slope of b on a ("linear param" of Table III).
+double linear_slope(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Average ranks of v (1-based, ties share the mean rank).
+std::vector<double> average_ranks(const std::vector<double>& v);
+
+}  // namespace ic::data

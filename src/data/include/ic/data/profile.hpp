@@ -1,0 +1,46 @@
+// Experiment profiles: one set of knobs per reproduction scale.
+//
+// The paper's full experiment (1529-gate circuit, up to 350 encrypted gates,
+// instances taking up to 2411 solver-seconds) is hours of single-core work;
+// the default "ci" profile shrinks the circuit and the attack budget so the
+// whole table regenerates in minutes while preserving every qualitative
+// trend. Select with the ICNET_PROFILE environment variable ("ci", "paper").
+// EXPERIMENTS.md records which profile produced the recorded numbers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "ic/attack/sat_attack.hpp"
+#include "ic/data/dataset.hpp"
+
+namespace ic::data {
+
+struct ExperimentProfile {
+  std::string name;
+  std::size_t circuit_gates = 192;   ///< synthetic main-circuit size
+  std::size_t circuit_inputs = 32;
+  std::size_t circuit_outputs = 16;
+  std::size_t d1_instances = 260;    ///< Dataset 1 size
+  std::size_t d1_max_gates = 40;     ///< Dataset 1 encrypted-gate range cap
+  std::size_t d2_instances = 120;     ///< Dataset 2 size (1..3 gates)
+  std::uint64_t attack_max_conflicts = 10000;  ///< per-instance cap
+  double attack_max_wall_seconds = 10.0;       ///< per-instance safety valve
+  std::size_t gnn_epochs = 800;
+  std::size_t case_study_instances = 36;  ///< per circuit, Table III
+  std::size_t case_study_max_gates = 16;
+  std::uint64_t seed = 42;
+
+  /// Fast default: minutes on one core.
+  static ExperimentProfile ci();
+  /// Paper-scale: 1529-gate circuit, 1..350 encrypted gates.
+  static ExperimentProfile paper();
+  /// Reads ICNET_PROFILE (defaults to ci).
+  static ExperimentProfile from_env();
+
+  /// Dataset options prefilled for Dataset 1 / Dataset 2 of the paper.
+  DatasetOptions dataset1_options() const;
+  DatasetOptions dataset2_options() const;
+};
+
+}  // namespace ic::data

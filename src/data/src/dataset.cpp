@@ -1,0 +1,176 @@
+#include "ic/data/dataset.hpp"
+
+#include <cmath>
+
+#include "ic/attack/oracle.hpp"
+#include "ic/graph/structure.hpp"
+#include "ic/support/assert.hpp"
+#include "ic/support/rng.hpp"
+
+namespace ic::data {
+
+using circuit::Netlist;
+using graph::Matrix;
+using graph::SparseMatrix;
+
+std::vector<double> Dataset::log_targets() const {
+  std::vector<double> out;
+  out.reserve(instances.size());
+  for (const Instance& inst : instances) {
+    out.push_back(std::log1p(inst.runtime_seconds * 1e6));
+  }
+  return out;
+}
+
+Dataset generate_dataset(const Netlist& circuit, const DatasetOptions& options) {
+  IC_ASSERT(options.min_gates >= 1 && options.min_gates <= options.max_gates);
+  Dataset ds;
+  ds.circuit = std::make_shared<const Netlist>(circuit);
+  Rng rng(options.seed);
+
+  const std::size_t lockable = locking::lockable_gates(circuit).size();
+  const std::size_t max_gates = std::min(options.max_gates, lockable);
+  IC_CHECK(options.min_gates <= max_gates,
+           "circuit has only " << lockable << " lockable gates; min_gates="
+                               << options.min_gates);
+
+  attack::NetlistOracle oracle(circuit);
+  for (std::size_t i = 0; i < options.num_instances; ++i) {
+    Instance inst;
+    const std::size_t k = static_cast<std::size_t>(
+        rng.uniform_int(static_cast<std::int64_t>(options.min_gates),
+                        static_cast<std::int64_t>(max_gates)));
+    inst.selection = locking::select_gates(circuit, k, options.policy, rng.fork());
+
+    circuit::Netlist locked;
+    if (options.scheme == ObfuscationScheme::Lut) {
+      locking::LutLockOptions lut = options.lut;
+      lut.seed = rng.fork();
+      locked = locking::lut_lock(circuit, inst.selection, lut).locked;
+    } else {
+      locking::XorLockOptions xl = options.xor_lock;
+      xl.seed = rng.fork();
+      locked = locking::xor_lock(circuit, inst.selection, xl).locked;
+    }
+
+    inst.attack = attack::sat_attack(locked, oracle, options.attack);
+    inst.runtime_seconds = options.use_wall_time ? inst.attack.wall_seconds
+                                                 : inst.attack.estimated_seconds();
+    ds.instances.push_back(std::move(inst));
+  }
+  return ds;
+}
+
+std::shared_ptr<const SparseMatrix> make_structure(const Netlist& circuit,
+                                                   StructureKind kind) {
+  const SparseMatrix a = graph::adjacency(circuit);
+  switch (kind) {
+    case StructureKind::Adjacency:
+      return std::make_shared<const SparseMatrix>(a);
+    case StructureKind::Laplacian:
+      return std::make_shared<const SparseMatrix>(graph::laplacian(a));
+    case StructureKind::GcnNorm:
+      return std::make_shared<const SparseMatrix>(graph::gcn_propagation(a));
+    case StructureKind::ScaledLaplacian:
+      return std::make_shared<const SparseMatrix>(graph::scaled_laplacian(a));
+    case StructureKind::RowNormAdjacency:
+      return std::make_shared<const SparseMatrix>(
+          graph::row_normalized_adjacency(a));
+  }
+  IC_ASSERT_MSG(false, "unhandled StructureKind");
+  return nullptr;
+}
+
+std::vector<nn::GraphSample> to_gnn_samples(const Dataset& dataset,
+                                            FeatureSet features,
+                                            StructureKind structure) {
+  IC_ASSERT(dataset.circuit != nullptr);
+  const auto op = make_structure(*dataset.circuit, structure);
+  const auto targets = dataset.log_targets();
+  std::vector<nn::GraphSample> samples;
+  samples.reserve(dataset.instances.size());
+  for (std::size_t i = 0; i < dataset.instances.size(); ++i) {
+    nn::GraphSample s;
+    s.structure = op;
+    s.features = gate_features(*dataset.circuit, dataset.instances[i].selection,
+                               features);
+    s.target = targets[i];
+    samples.push_back(std::move(s));
+  }
+  return samples;
+}
+
+Matrix flatten_dataset(const Dataset& dataset, FeatureSet features,
+                       StructureKind structure, Aggregation aggregation) {
+  IC_ASSERT(dataset.circuit != nullptr);
+  const auto op = make_structure(*dataset.circuit, structure);
+  const std::size_t n = dataset.circuit->size();
+  const std::size_t f = feature_width(features);
+
+  // The structure block is identical for every instance: aggregate it once.
+  // Sum across gates (rows) of S gives the column sums.
+  const Matrix dense = op->to_dense();
+  std::vector<double> s_part = dense.col_sums();
+  if (aggregation == Aggregation::Mean) {
+    for (double& v : s_part) v /= static_cast<double>(n);
+  }
+
+  Matrix out(dataset.instances.size(), n + f);
+  for (std::size_t i = 0; i < dataset.instances.size(); ++i) {
+    for (std::size_t j = 0; j < n; ++j) out(i, j) = s_part[j];
+    const Matrix x =
+        gate_features(*dataset.circuit, dataset.instances[i].selection, features);
+    const auto x_part = aggregation == Aggregation::Sum ? x.col_sums() : x.col_means();
+    for (std::size_t j = 0; j < f; ++j) out(i, n + j) = x_part[j];
+  }
+  return out;
+}
+
+Split split_indices(std::size_t n, double test_fraction, std::uint64_t seed) {
+  IC_ASSERT(test_fraction > 0.0 && test_fraction < 1.0);
+  std::vector<std::size_t> idx(n);
+  for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+  Rng rng(seed);
+  rng.shuffle(idx);
+  const std::size_t test_count =
+      std::max<std::size_t>(1, static_cast<std::size_t>(
+                                   std::llround(test_fraction * static_cast<double>(n))));
+  Split split;
+  split.test.assign(idx.begin(), idx.begin() + static_cast<std::ptrdiff_t>(test_count));
+  split.train.assign(idx.begin() + static_cast<std::ptrdiff_t>(test_count), idx.end());
+  IC_ASSERT(!split.train.empty());
+  return split;
+}
+
+Matrix take_rows(const Matrix& x, const std::vector<std::size_t>& idx) {
+  Matrix out(idx.size(), x.cols());
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    IC_ASSERT(idx[i] < x.rows());
+    for (std::size_t j = 0; j < x.cols(); ++j) out(i, j) = x(idx[i], j);
+  }
+  return out;
+}
+
+std::vector<double> take(const std::vector<double>& v,
+                         const std::vector<std::size_t>& idx) {
+  std::vector<double> out;
+  out.reserve(idx.size());
+  for (std::size_t i : idx) {
+    IC_ASSERT(i < v.size());
+    out.push_back(v[i]);
+  }
+  return out;
+}
+
+std::vector<nn::GraphSample> take(const std::vector<nn::GraphSample>& v,
+                                  const std::vector<std::size_t>& idx) {
+  std::vector<nn::GraphSample> out;
+  out.reserve(idx.size());
+  for (std::size_t i : idx) {
+    IC_ASSERT(i < v.size());
+    out.push_back(v[i]);
+  }
+  return out;
+}
+
+}  // namespace ic::data

@@ -1,0 +1,92 @@
+#include "ic/data/dataset_io.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "ic/support/assert.hpp"
+
+namespace ic::data {
+
+using circuit::Netlist;
+
+void save_dataset(const Dataset& dataset, const std::string& path) {
+  IC_ASSERT(dataset.circuit != nullptr);
+  std::ofstream out(path);
+  IC_CHECK(out.good(), "cannot open '" << path << "' for writing");
+  out << "icnet-dataset v1\n";
+  out << dataset.circuit->name() << ' ' << dataset.circuit->size() << ' '
+      << dataset.instances.size() << '\n';
+  out << std::setprecision(17);
+  for (const Instance& inst : dataset.instances) {
+    out << inst.selection.size();
+    for (auto id : inst.selection) out << ' ' << id;
+    out << '\n'
+        << inst.runtime_seconds << ' ' << inst.attack.iterations << ' '
+        << inst.attack.conflicts << ' ' << inst.attack.propagations << ' '
+        << inst.attack.decisions << ' ' << (inst.attack.success ? 1 : 0) << ' '
+        << (inst.attack.hit_cap ? 1 : 0) << ' ' << inst.attack.wall_seconds
+        << '\n';
+  }
+  IC_CHECK(out.good(), "write to '" << path << "' failed");
+}
+
+Dataset load_dataset(const Netlist& circuit, const std::string& path) {
+  std::ifstream in(path);
+  IC_CHECK(in.good(), "cannot open dataset file '" << path << "'");
+  std::string magic, version;
+  in >> magic >> version;
+  IC_CHECK(magic == "icnet-dataset" && version == "v1",
+           "'" << path << "' is not an icnet dataset file");
+  std::string circuit_name;
+  std::size_t circuit_size = 0, count = 0;
+  in >> circuit_name >> circuit_size >> count;
+  IC_CHECK(circuit_name == circuit.name() && circuit_size == circuit.size(),
+           "dataset '" << path << "' was recorded for circuit '" << circuit_name
+                       << "' (" << circuit_size << " vertices), not '"
+                       << circuit.name() << "' (" << circuit.size() << ")");
+  Dataset ds;
+  ds.circuit = std::make_shared<const Netlist>(circuit);
+  for (std::size_t i = 0; i < count; ++i) {
+    Instance inst;
+    std::size_t k = 0;
+    in >> k;
+    inst.selection.resize(k);
+    for (std::size_t j = 0; j < k; ++j) {
+      in >> inst.selection[j];
+      IC_CHECK(inst.selection[j] < circuit.size(),
+               "dataset '" << path << "' references gate out of range");
+    }
+    int success = 0, hit_cap = 0;
+    in >> inst.runtime_seconds >> inst.attack.iterations >>
+        inst.attack.conflicts >> inst.attack.propagations >>
+        inst.attack.decisions >> success >> hit_cap >>
+        inst.attack.wall_seconds;
+    inst.attack.success = success != 0;
+    inst.attack.hit_cap = hit_cap != 0;
+    IC_CHECK(!in.fail(), "truncated dataset file '" << path << "'");
+    ds.instances.push_back(std::move(inst));
+  }
+  return ds;
+}
+
+Dataset load_or_generate(const Netlist& circuit, const DatasetOptions& options,
+                         const std::string& path) {
+  if (std::filesystem::exists(path)) {
+    try {
+      Dataset ds = load_dataset(circuit, path);
+      if (ds.instances.size() == options.num_instances) return ds;
+      // Stale cache (different options): fall through and regenerate.
+    } catch (const std::runtime_error&) {
+      // Unreadable cache: regenerate.
+    }
+  }
+  Dataset ds = generate_dataset(circuit, options);
+  const auto parent = std::filesystem::path(path).parent_path();
+  if (!parent.empty()) std::filesystem::create_directories(parent);
+  save_dataset(ds, path);
+  return ds;
+}
+
+}  // namespace ic::data

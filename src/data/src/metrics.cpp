@@ -1,0 +1,86 @@
+#include "ic/data/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "ic/support/assert.hpp"
+
+namespace ic::data {
+
+double mse(const std::vector<double>& predictions,
+           const std::vector<double>& targets) {
+  IC_ASSERT(predictions.size() == targets.size() && !targets.empty());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    const double r = predictions[i] - targets[i];
+    acc += r * r;
+  }
+  return acc / static_cast<double>(targets.size());
+}
+
+double pearson(const std::vector<double>& a, const std::vector<double>& b) {
+  IC_ASSERT(a.size() == b.size() && !a.empty());
+  const double n = static_cast<double>(a.size());
+  double ma = 0.0, mb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ma += a[i];
+    mb += b[i];
+  }
+  ma /= n;
+  mb /= n;
+  double cov = 0.0, va = 0.0, vb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double da = a[i] - ma;
+    const double db = b[i] - mb;
+    cov += da * db;
+    va += da * da;
+    vb += db * db;
+  }
+  if (va <= 0.0 || vb <= 0.0) return 0.0;
+  return cov / std::sqrt(va * vb);
+}
+
+std::vector<double> average_ranks(const std::vector<double>& v) {
+  const std::size_t n = v.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t x, std::size_t y) { return v[x] < v[y]; });
+  std::vector<double> ranks(n, 0.0);
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    while (j + 1 < n && v[order[j + 1]] == v[order[i]]) ++j;
+    const double avg = 0.5 * static_cast<double>(i + j) + 1.0;  // 1-based
+    for (std::size_t k = i; k <= j; ++k) ranks[order[k]] = avg;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+double spearman(const std::vector<double>& a, const std::vector<double>& b) {
+  IC_ASSERT(a.size() == b.size() && !a.empty());
+  return pearson(average_ranks(a), average_ranks(b));
+}
+
+double linear_slope(const std::vector<double>& a, const std::vector<double>& b) {
+  IC_ASSERT(a.size() == b.size() && !a.empty());
+  const double n = static_cast<double>(a.size());
+  double ma = 0.0, mb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ma += a[i];
+    mb += b[i];
+  }
+  ma /= n;
+  mb /= n;
+  double cov = 0.0, va = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    cov += (a[i] - ma) * (b[i] - mb);
+    va += (a[i] - ma) * (a[i] - ma);
+  }
+  if (va <= 0.0) return 0.0;
+  return cov / va;
+}
+
+}  // namespace ic::data

@@ -1,0 +1,41 @@
+// Anti-SAT block insertion (Xie & Srivastava, CHES'16 / TCAD'18) — the
+// classic SAT-attack-resistant defence the paper's related work (§II.A)
+// contrasts with plain locking.
+//
+// The block computes Y = g(X ⊕ K1) ∧ ¬g(X ⊕ K2) with g = AND over m wires.
+// For any correct key (K1 = K2) the two halves are complementary and Y is
+// constant 0, so XOR-ing Y into a wire preserves functionality. A wrong key
+// pair flips that wire for *exactly one* pattern of the tapped wires, which
+// forces the oracle-guided SAT attack to rule out wrong keys almost one DIP
+// at a time — attack effort grows exponentially in m, the property the
+// runtime estimator is supposed to recognize.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ic/circuit/netlist.hpp"
+
+namespace ic::locking {
+
+struct AntiSatResult {
+  circuit::Netlist locked;
+  std::vector<bool> correct_key;   ///< 2m bits; K1 = K2 = 0 here
+  circuit::GateId flip_gate;       ///< the XOR that injects Y into the wire
+  std::vector<circuit::GateId> tapped_inputs;  ///< the m wires feeding g
+};
+
+struct AntiSatOptions {
+  /// Width m of the AND tree; the attack needs Θ(2^m) DIPs.
+  std::size_t width = 6;
+  std::uint64_t seed = 1;
+};
+
+/// Insert an Anti-SAT block whose output is XOR-ed into `target_wire`
+/// (a logic gate or primary input of `original`); the block taps `width`
+/// primary inputs. Gate ids of `original` stay valid in the result.
+AntiSatResult anti_sat_lock(const circuit::Netlist& original,
+                            circuit::GateId target_wire,
+                            const AntiSatOptions& options = {});
+
+}  // namespace ic::locking

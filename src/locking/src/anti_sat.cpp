@@ -1,0 +1,104 @@
+#include "ic/locking/anti_sat.hpp"
+
+#include "ic/support/assert.hpp"
+#include "ic/support/rng.hpp"
+
+namespace ic::locking {
+
+using circuit::GateId;
+using circuit::GateKind;
+using circuit::Netlist;
+
+namespace {
+
+/// Balanced AND tree over `leaves`; returns the root gate id.
+GateId and_tree(Netlist& nl, std::vector<GateId> leaves, const std::string& prefix) {
+  IC_ASSERT(!leaves.empty());
+  int serial = 0;
+  while (leaves.size() > 1) {
+    std::vector<GateId> next;
+    for (std::size_t i = 0; i + 1 < leaves.size(); i += 2) {
+      next.push_back(nl.add_gate(GateKind::And, {leaves[i], leaves[i + 1]},
+                                 prefix + "_and" + std::to_string(serial++)));
+    }
+    if (leaves.size() % 2 == 1) next.push_back(leaves.back());
+    leaves = std::move(next);
+  }
+  return leaves[0];
+}
+
+}  // namespace
+
+AntiSatResult anti_sat_lock(const Netlist& original, GateId target_wire,
+                            const AntiSatOptions& options) {
+  IC_ASSERT(options.width >= 2 && options.width <= 24);
+  IC_ASSERT_MSG(original.num_inputs() >= options.width,
+                "Anti-SAT needs at least `width` primary inputs to tap");
+  AntiSatResult result;
+  result.locked = original;
+  Netlist& nl = result.locked;
+  IC_ASSERT(target_wire < nl.size());
+  IC_ASSERT_MSG(nl.gate(target_wire).kind != GateKind::KeyInput,
+                "cannot flip a key input");
+
+  Rng rng(options.seed);
+  const auto tap_idx =
+      rng.sample_without_replacement(nl.num_inputs(), options.width);
+  for (std::size_t i : tap_idx) {
+    result.tapped_inputs.push_back(nl.primary_inputs()[i]);
+  }
+
+  // 2m key bits: K1 then K2; the correct key is K1 = K2 (all zeros works).
+  std::vector<GateId> k1, k2;
+  const std::size_t base = nl.num_keys();
+  for (std::size_t i = 0; i < options.width; ++i) {
+    k1.push_back(nl.add_key_input("keyinput" + std::to_string(base + i)));
+    result.correct_key.push_back(false);
+  }
+  for (std::size_t i = 0; i < options.width; ++i) {
+    k2.push_back(nl.add_key_input(
+        "keyinput" + std::to_string(base + options.width + i)));
+    result.correct_key.push_back(false);
+  }
+
+  // g(X ⊕ K1) and ¬g(X ⊕ K2).
+  std::vector<GateId> x1, x2;
+  for (std::size_t i = 0; i < options.width; ++i) {
+    x1.push_back(nl.add_gate(GateKind::Xor, {result.tapped_inputs[i], k1[i]},
+                             "asat_x1_" + std::to_string(i)));
+    x2.push_back(nl.add_gate(GateKind::Xor, {result.tapped_inputs[i], k2[i]},
+                             "asat_x2_" + std::to_string(i)));
+  }
+  const GateId g1 = and_tree(nl, std::move(x1), "asat_g1");
+  const GateId g2 = and_tree(nl, std::move(x2), "asat_g2");
+  const GateId g2n = nl.add_gate(GateKind::Not, {g2}, "asat_g2n");
+  const GateId y = nl.add_gate(GateKind::And, {g1, g2n}, "asat_y");
+
+  // Flip the target wire with Y: fanouts (and the output list) move to the
+  // XOR. Y is constant 0 under any correct key, so function is preserved.
+  const std::vector<GateId> sinks = nl.fanouts()[target_wire];
+  const GateId flip = nl.add_gate(GateKind::Xor, {target_wire, y},
+                                  nl.gate(target_wire).name + "_asat_flip");
+  for (GateId sink : sinks) {
+    while (true) {
+      bool found = false;
+      for (GateId f : nl.gate(sink).fanins) {
+        if (f == target_wire) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) break;
+      nl.rewire_fanin(sink, target_wire, flip);
+    }
+  }
+  for (GateId out : nl.outputs()) {
+    if (out == target_wire) nl.replace_output(target_wire, flip);
+  }
+  result.flip_gate = flip;
+  nl.set_name(original.name() + "_antisat" + std::to_string(options.width));
+  nl.validate();
+  return result;
+}
+
+}  // namespace ic::locking

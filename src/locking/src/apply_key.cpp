@@ -1,0 +1,270 @@
+#include "ic/locking/apply_key.hpp"
+
+#include <algorithm>
+#include <optional>
+
+#include "ic/support/assert.hpp"
+
+namespace ic::locking {
+
+using circuit::Gate;
+using circuit::GateId;
+using circuit::GateKind;
+using circuit::Netlist;
+
+namespace {
+
+/// Signal during partial evaluation: either a constant or a gate in the
+/// output netlist.
+struct Value {
+  std::optional<bool> constant;
+  GateId gate = circuit::kNoGate;
+
+  static Value of_const(bool b) { return {b, circuit::kNoGate}; }
+  static Value of_gate(GateId g) { return {std::nullopt, g}; }
+  bool is_const() const { return constant.has_value(); }
+};
+
+/// Lazily-created constant drivers (XOR/XNOR of a primary input with
+/// itself), so constants surviving to an output stay representable.
+class ConstPool {
+ public:
+  explicit ConstPool(Netlist& nl) : nl_(&nl) {}
+
+  GateId get(bool value) {
+    GateId& slot = value ? one_ : zero_;
+    if (slot == circuit::kNoGate) {
+      IC_ASSERT_MSG(nl_->num_inputs() > 0, "constant pool needs an input");
+      const GateId a = nl_->primary_inputs()[0];
+      slot = nl_->add_gate(value ? GateKind::Xnor : GateKind::Xor, {a, a},
+                           value ? "__const1" : "__const0");
+    }
+    return slot;
+  }
+
+ private:
+  Netlist* nl_;
+  GateId zero_ = circuit::kNoGate;
+  GateId one_ = circuit::kNoGate;
+};
+
+GateId materialize(ConstPool& consts, const Value& v) {
+  return v.is_const() ? consts.get(*v.constant) : v.gate;
+}
+
+}  // namespace
+
+Netlist apply_key(const Netlist& locked, const std::vector<bool>& key) {
+  IC_ASSERT_MSG(key.size() == locked.num_keys(),
+                "key size " << key.size() << " != " << locked.num_keys());
+  Netlist out(locked.name() + "_unlocked");
+  ConstPool consts(out);
+
+  std::vector<Value> value(locked.size());
+  for (GateId id : locked.primary_inputs()) {
+    value[id] = Value::of_gate(out.add_input(locked.gate(id).name));
+  }
+  for (std::size_t i = 0; i < locked.num_keys(); ++i) {
+    value[locked.key_inputs()[i]] = Value::of_const(key[i]);
+  }
+
+  auto add_not = [&](const Value& v, const std::string& name) -> Value {
+    if (v.is_const()) return Value::of_const(!*v.constant);
+    return Value::of_gate(out.add_gate(GateKind::Not, {v.gate}, name));
+  };
+
+  for (GateId id : locked.topological_order()) {
+    const Gate& g = locked.gate(id);
+    if (!circuit::is_logic(g.kind)) continue;
+    std::vector<Value> fin;
+    fin.reserve(g.fanins.size());
+    for (GateId f : g.fanins) fin.push_back(value[f]);
+
+    switch (g.kind) {
+      case GateKind::Buf:
+        value[id] = fin[0];
+        break;
+      case GateKind::Not:
+        value[id] = add_not(fin[0], g.name);
+        break;
+      case GateKind::And:
+      case GateKind::Nand:
+      case GateKind::Or:
+      case GateKind::Nor: {
+        const bool is_or = g.kind == GateKind::Or || g.kind == GateKind::Nor;
+        const bool invert = g.kind == GateKind::Nand || g.kind == GateKind::Nor;
+        const bool absorbing = is_or;  // OR: const true absorbs; AND: false
+        std::vector<GateId> live;
+        bool absorbed = false;
+        for (const Value& v : fin) {
+          if (v.is_const()) {
+            if (*v.constant == absorbing) {
+              absorbed = true;
+              break;
+            }
+            continue;  // identity element: drop
+          }
+          live.push_back(v.gate);
+        }
+        Value base;
+        if (absorbed) {
+          base = Value::of_const(absorbing);
+        } else if (live.empty()) {
+          base = Value::of_const(!absorbing);  // empty AND = 1, empty OR = 0
+        } else if (live.size() == 1) {
+          base = Value::of_gate(live[0]);
+        } else {
+          base = Value::of_gate(out.add_gate(is_or ? GateKind::Or : GateKind::And,
+                                             std::move(live), g.name));
+        }
+        value[id] = invert ? add_not(base, g.name + (base.is_const() ? "" : "_n"))
+                           : base;
+        break;
+      }
+      case GateKind::Xor:
+      case GateKind::Xnor: {
+        bool parity = g.kind == GateKind::Xnor;  // XNOR starts inverted
+        std::vector<GateId> live;
+        for (const Value& v : fin) {
+          if (v.is_const()) {
+            parity ^= *v.constant;
+          } else {
+            live.push_back(v.gate);
+          }
+        }
+        Value base;
+        if (live.empty()) {
+          value[id] = Value::of_const(parity);
+          break;
+        }
+        if (live.size() == 1) {
+          base = Value::of_gate(live[0]);
+        } else {
+          base = Value::of_gate(
+              out.add_gate(GateKind::Xor, std::move(live), g.name));
+        }
+        value[id] = parity ? add_not(base, g.name + "_n") : base;
+        break;
+      }
+      case GateKind::Lut: {
+        // Resolve key truth bits, then fold constant address pins.
+        const std::size_t arity = g.fanins.size();
+        std::vector<bool> truth(std::size_t{1} << arity);
+        for (std::size_t a = 0; a < truth.size(); ++a) {
+          truth[a] = g.key_base >= 0
+                         ? key[static_cast<std::size_t>(g.key_base) + a]
+                         : static_cast<bool>(g.lut_truth[a]);
+        }
+        std::vector<GateId> live_pins;
+        std::vector<std::size_t> live_idx;
+        for (std::size_t b = 0; b < arity; ++b) {
+          if (!fin[b].is_const()) {
+            live_pins.push_back(fin[b].gate);
+            live_idx.push_back(b);
+          }
+        }
+        // Shrunk truth table over the live pins.
+        std::vector<bool> shrunk(std::size_t{1} << live_pins.size());
+        for (std::size_t a = 0; a < shrunk.size(); ++a) {
+          std::size_t full = 0;
+          for (std::size_t b = 0; b < arity; ++b) {
+            bool bit;
+            if (fin[b].is_const()) {
+              bit = *fin[b].constant;
+            } else {
+              const auto pos = static_cast<std::size_t>(
+                  std::find(live_idx.begin(), live_idx.end(), b) - live_idx.begin());
+              bit = (a >> pos) & 1u;
+            }
+            if (bit) full |= std::size_t{1} << b;
+          }
+          shrunk[a] = truth[full];
+        }
+        if (live_pins.empty()) {
+          value[id] = Value::of_const(shrunk[0]);
+        } else {
+          value[id] = Value::of_gate(
+              out.add_fixed_lut(std::move(live_pins), std::move(shrunk), g.name));
+        }
+        break;
+      }
+      default:
+        IC_ASSERT_MSG(false, "unexpected gate kind in apply_key");
+    }
+  }
+
+  for (GateId o : locked.outputs()) {
+    out.mark_output(materialize(consts, value[o]), /*allow_duplicate=*/true);
+  }
+  out.validate();
+  return out;
+}
+
+Netlist lut_to_gates(const Netlist& in) {
+  Netlist out(in.name());
+  std::vector<GateId> remap(in.size(), circuit::kNoGate);
+  ConstPool consts(out);
+
+  for (GateId id : in.primary_inputs()) {
+    remap[id] = out.add_input(in.gate(id).name);
+  }
+  for (GateId id : in.key_inputs()) {
+    remap[id] = out.add_key_input(in.gate(id).name);
+  }
+
+  for (GateId id : in.topological_order()) {
+    const Gate& g = in.gate(id);
+    if (!circuit::is_logic(g.kind)) continue;
+    std::vector<GateId> fanins;
+    for (GateId f : g.fanins) fanins.push_back(remap[f]);
+
+    if (g.kind != GateKind::Lut) {
+      remap[id] = out.add_gate(g.kind, std::move(fanins), g.name);
+      continue;
+    }
+    IC_CHECK(g.key_base < 0, "lut_to_gates: resolve keys first (apply_key)");
+
+    // Sum of minterms over the set bits of the truth table.
+    std::vector<GateId> inverted(fanins.size(), circuit::kNoGate);
+    auto literal = [&](std::size_t pin, bool positive) -> GateId {
+      if (positive) return fanins[pin];
+      if (inverted[pin] == circuit::kNoGate) {
+        inverted[pin] = out.add_gate(GateKind::Not, {fanins[pin]},
+                                     g.name + "_inv" + std::to_string(pin));
+      }
+      return inverted[pin];
+    };
+
+    std::vector<GateId> minterms;
+    for (std::size_t a = 0; a < g.lut_truth.size(); ++a) {
+      if (!g.lut_truth[a]) continue;
+      std::vector<GateId> lits;
+      for (std::size_t b = 0; b < fanins.size(); ++b) {
+        lits.push_back(literal(b, (a >> b) & 1u));
+      }
+      if (lits.size() == 1) {
+        minterms.push_back(lits[0]);
+      } else {
+        minterms.push_back(out.add_gate(GateKind::And, std::move(lits),
+                                        g.name + "_m" + std::to_string(a)));
+      }
+    }
+    if (minterms.empty()) {
+      remap[id] = consts.get(false);
+    } else if (minterms.size() == g.lut_truth.size()) {
+      remap[id] = consts.get(true);
+    } else if (minterms.size() == 1) {
+      remap[id] = out.add_gate(GateKind::Buf, {minterms[0]}, g.name);
+    } else {
+      remap[id] = out.add_gate(GateKind::Or, std::move(minterms), g.name);
+    }
+  }
+
+  for (GateId o : in.outputs()) {
+    out.mark_output(remap[o], /*allow_duplicate=*/true);
+  }
+  out.validate();
+  return out;
+}
+
+}  // namespace ic::locking

@@ -1,0 +1,49 @@
+// Greedy sparse linear models: orthogonal matching pursuit and the
+// forward-stagewise approximation of least-angle regression.
+#pragma once
+
+#include "ic/ml/regressor.hpp"
+
+namespace ic::ml {
+
+/// Orthogonal matching pursuit: greedily add the feature most correlated
+/// with the residual, refit least squares on the active set each step.
+class OrthogonalMatchingPursuit : public VectorRegressor {
+ public:
+  /// `n_nonzero` = 0 selects 10% of the feature count (scikit default).
+  explicit OrthogonalMatchingPursuit(std::size_t n_nonzero = 0)
+      : n_nonzero_(n_nonzero) {}
+
+  void fit(const graph::Matrix& x, const std::vector<double>& y) override;
+  double predict_one(const std::vector<double>& x) const override;
+  std::string name() const override { return "OMP"; }
+
+  const std::vector<std::size_t>& active_set() const { return active_; }
+
+ private:
+  std::size_t n_nonzero_;
+  std::vector<double> coef_;
+  std::vector<std::size_t> active_;
+  double intercept_ = 0.0;
+};
+
+/// Least-angle regression, implemented as incremental forward stagewise
+/// (ε-LARS): thousands of tiny coordinate moves along the most-correlated
+/// feature. This traces the LARS coefficient path in the limit ε → 0.
+class Lars : public VectorRegressor {
+ public:
+  explicit Lars(double step = 1e-2, std::size_t max_steps = 20000)
+      : step_(step), max_steps_(max_steps) {}
+
+  void fit(const graph::Matrix& x, const std::vector<double>& y) override;
+  double predict_one(const std::vector<double>& x) const override;
+  std::string name() const override { return "LARS"; }
+
+ private:
+  double step_;
+  std::size_t max_steps_;
+  std::vector<double> coef_;
+  double intercept_ = 0.0;
+};
+
+}  // namespace ic::ml

@@ -1,0 +1,58 @@
+// Closed-form and coordinate-descent linear models: ordinary least squares,
+// ridge, LASSO, and elastic net.
+#pragma once
+
+#include "ic/ml/regressor.hpp"
+
+namespace ic::ml {
+
+/// Ordinary least squares via the normal equations, solved by Gaussian
+/// elimination. Deliberately unregularized: on rank-deficient designs the
+/// coefficients explode, reproducing the enormous test errors the paper
+/// reports for plain LR on Dataset 2.
+class LinearRegression : public VectorRegressor {
+ public:
+  void fit(const graph::Matrix& x, const std::vector<double>& y) override;
+  double predict_one(const std::vector<double>& x) const override;
+  std::string name() const override { return "LR"; }
+
+ protected:
+  std::vector<double> coef_;
+  double intercept_ = 0.0;
+};
+
+/// Ridge regression: (XᵀX + αI) w = Xᵀy.
+class RidgeRegression : public LinearRegression {
+ public:
+  explicit RidgeRegression(double alpha = 1.0) : alpha_(alpha) {}
+  void fit(const graph::Matrix& x, const std::vector<double>& y) override;
+  std::string name() const override { return "RR"; }
+
+ private:
+  double alpha_;
+};
+
+/// Elastic net by cyclic coordinate descent on
+///   (1/2N)‖y − Xw − b‖² + α·l1_ratio‖w‖₁ + (α/2)(1−l1_ratio)‖w‖².
+/// LASSO is the l1_ratio = 1 special case.
+class ElasticNet : public LinearRegression {
+ public:
+  explicit ElasticNet(double alpha = 1.0, double l1_ratio = 0.5,
+                      std::size_t max_iter = 1000, double tol = 1e-6)
+      : alpha_(alpha), l1_ratio_(l1_ratio), max_iter_(max_iter), tol_(tol) {}
+  void fit(const graph::Matrix& x, const std::vector<double>& y) override;
+  std::string name() const override { return "EN"; }
+
+ private:
+  double alpha_, l1_ratio_;
+  std::size_t max_iter_;
+  double tol_;
+};
+
+class Lasso : public ElasticNet {
+ public:
+  explicit Lasso(double alpha = 1.0) : ElasticNet(alpha, 1.0) {}
+  std::string name() const override { return "LASSO"; }
+};
+
+}  // namespace ic::ml

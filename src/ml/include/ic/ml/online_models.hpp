@@ -1,0 +1,56 @@
+// Online linear regressors: SGD with squared loss and the
+// passive-aggressive ε-insensitive regressor (PAR).
+#pragma once
+
+#include <cstdint>
+
+#include "ic/ml/regressor.hpp"
+
+namespace ic::ml {
+
+/// Linear regression by stochastic gradient descent with inverse-scaling
+/// learning rate. Like scikit-learn's SGDRegressor it operates on raw
+/// (unscaled) features, so large-magnitude encodings (the "Sum" aggregation
+/// of a whole adjacency matrix) make it diverge to astronomically large
+/// coefficients — exactly the e+25-scale MSE rows of Tables I/II.
+class SgdRegressor : public VectorRegressor {
+ public:
+  explicit SgdRegressor(double eta0 = 0.01, double power_t = 0.25,
+                        double alpha = 1e-4, std::size_t epochs = 100,
+                        std::uint64_t seed = 1)
+      : eta0_(eta0), power_t_(power_t), alpha_(alpha), epochs_(epochs), seed_(seed) {}
+
+  void fit(const graph::Matrix& x, const std::vector<double>& y) override;
+  double predict_one(const std::vector<double>& x) const override;
+  std::string name() const override { return "SGD"; }
+
+ private:
+  double eta0_, power_t_, alpha_;
+  std::size_t epochs_;
+  std::uint64_t seed_;
+  std::vector<double> coef_;
+  double intercept_ = 0.0;
+};
+
+/// Passive-aggressive regression (PA-I): update only when the ε-insensitive
+/// loss is positive, with step capped by aggressiveness C.
+class PassiveAggressiveRegressor : public VectorRegressor {
+ public:
+  explicit PassiveAggressiveRegressor(double c = 1.0, double epsilon = 0.1,
+                                      std::size_t epochs = 50,
+                                      std::uint64_t seed = 1)
+      : c_(c), epsilon_(epsilon), epochs_(epochs), seed_(seed) {}
+
+  void fit(const graph::Matrix& x, const std::vector<double>& y) override;
+  double predict_one(const std::vector<double>& x) const override;
+  std::string name() const override { return "PAR"; }
+
+ private:
+  double c_, epsilon_;
+  std::size_t epochs_;
+  std::uint64_t seed_;
+  std::vector<double> coef_;
+  double intercept_ = 0.0;
+};
+
+}  // namespace ic::ml

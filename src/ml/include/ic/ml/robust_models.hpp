@@ -1,0 +1,31 @@
+// Theil–Sen estimator for multiple linear regression: coordinate-wise median
+// of least-squares fits over many random sample subsets (Dang et al. 2008,
+// the variant scikit-learn implements).
+#pragma once
+
+#include <cstdint>
+
+#include "ic/ml/regressor.hpp"
+
+namespace ic::ml {
+
+class TheilSen : public VectorRegressor {
+ public:
+  explicit TheilSen(std::size_t n_subsets = 40, std::uint64_t seed = 1)
+      : n_subsets_(n_subsets), seed_(seed) {}
+
+  /// Throws std::runtime_error when the design is too small for subset
+  /// fitting (fewer samples than features + 1) — surfaced as "N/A" in the
+  /// benchmark tables, as in the paper's Dataset 2 row.
+  void fit(const graph::Matrix& x, const std::vector<double>& y) override;
+  double predict_one(const std::vector<double>& x) const override;
+  std::string name() const override { return "Theil"; }
+
+ private:
+  std::size_t n_subsets_;
+  std::uint64_t seed_;
+  std::vector<double> coef_;
+  double intercept_ = 0.0;
+};
+
+}  // namespace ic::ml

@@ -1,0 +1,81 @@
+// Tree and instance-based regressors — extensions beyond the paper's
+// baseline table (Table I/II stop at linear/kernel models; forests and KNN
+// are what a practitioner would try next on tabular encodings).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "ic/ml/regressor.hpp"
+
+namespace ic::ml {
+
+/// CART regression tree (variance-reduction splits).
+class DecisionTreeRegressor : public VectorRegressor {
+ public:
+  explicit DecisionTreeRegressor(std::size_t max_depth = 12,
+                                 std::size_t min_leaf = 3,
+                                 std::size_t feature_subset = 0,  // 0 = all
+                                 std::uint64_t seed = 1)
+      : max_depth_(max_depth),
+        min_leaf_(min_leaf),
+        feature_subset_(feature_subset),
+        seed_(seed) {}
+
+  void fit(const graph::Matrix& x, const std::vector<double>& y) override;
+  double predict_one(const std::vector<double>& x) const override;
+  std::string name() const override { return "DT"; }
+
+  std::size_t node_count() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    int feature = -1;        // -1 = leaf
+    double threshold = 0.0;  // go left if x[feature] <= threshold
+    double value = 0.0;      // leaf prediction
+    std::int32_t left = -1, right = -1;
+  };
+
+  std::int32_t build(const graph::Matrix& x, const std::vector<double>& y,
+                     std::vector<std::size_t>& rows, std::size_t depth, Rng& rng);
+
+  std::size_t max_depth_, min_leaf_, feature_subset_;
+  std::uint64_t seed_;
+  std::vector<Node> nodes_;
+  std::int32_t root_ = -1;
+};
+
+/// Bagged ensemble of randomized CART trees.
+class RandomForestRegressor : public VectorRegressor {
+ public:
+  explicit RandomForestRegressor(std::size_t n_trees = 30,
+                                 std::size_t max_depth = 12,
+                                 std::uint64_t seed = 1)
+      : n_trees_(n_trees), max_depth_(max_depth), seed_(seed) {}
+
+  void fit(const graph::Matrix& x, const std::vector<double>& y) override;
+  double predict_one(const std::vector<double>& x) const override;
+  std::string name() const override { return "RF"; }
+
+ private:
+  std::size_t n_trees_, max_depth_;
+  std::uint64_t seed_;
+  std::vector<DecisionTreeRegressor> trees_;
+};
+
+/// k-nearest-neighbours regression (Euclidean, uniform weights).
+class KnnRegressor : public VectorRegressor {
+ public:
+  explicit KnnRegressor(std::size_t k = 5) : k_(k) {}
+
+  void fit(const graph::Matrix& x, const std::vector<double>& y) override;
+  double predict_one(const std::vector<double>& x) const override;
+  std::string name() const override { return "KNN"; }
+
+ private:
+  std::size_t k_;
+  graph::Matrix train_x_;
+  std::vector<double> train_y_;
+};
+
+}  // namespace ic::ml

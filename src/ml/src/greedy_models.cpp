@@ -1,0 +1,165 @@
+#include "ic/ml/greedy_models.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ic/support/assert.hpp"
+
+namespace ic::ml {
+
+using graph::Matrix;
+
+void OrthogonalMatchingPursuit::fit(const Matrix& x, const std::vector<double>& y) {
+  IC_ASSERT(x.rows() == y.size());
+  const std::size_t n = x.rows();
+  const std::size_t d = x.cols();
+  const std::size_t target =
+      n_nonzero_ > 0 ? std::min(n_nonzero_, d)
+                     : std::max<std::size_t>(1, d / 10);
+
+  // Center.
+  const auto x_mean = x.col_means();
+  double y_mean = 0.0;
+  for (double v : y) y_mean += v;
+  y_mean /= static_cast<double>(n);
+
+  Matrix xc = x;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < d; ++j) xc(i, j) -= x_mean[j];
+  }
+  std::vector<double> residual(n);
+  for (std::size_t i = 0; i < n; ++i) residual[i] = y[i] - y_mean;
+
+  std::vector<double> col_norm(d, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < d; ++j) col_norm[j] += xc(i, j) * xc(i, j);
+  }
+
+  active_.clear();
+  std::vector<bool> in_active(d, false);
+  std::vector<double> w_active;
+
+  for (std::size_t step = 0; step < target; ++step) {
+    // Most correlated remaining feature.
+    std::size_t best = d;
+    double best_score = 0.0;
+    for (std::size_t j = 0; j < d; ++j) {
+      if (in_active[j] || col_norm[j] <= 1e-12) continue;
+      double dot = 0.0;
+      for (std::size_t i = 0; i < n; ++i) dot += xc(i, j) * residual[i];
+      const double score = std::fabs(dot) / std::sqrt(col_norm[j]);
+      if (score > best_score) {
+        best_score = score;
+        best = j;
+      }
+    }
+    if (best == d || best_score < 1e-12) break;
+    active_.push_back(best);
+    in_active[best] = true;
+
+    // Least squares on the active set (ridge-jittered for stability).
+    const std::size_t k = active_.size();
+    Matrix gram(k, k);
+    Matrix rhs(k, 1);
+    for (std::size_t a = 0; a < k; ++a) {
+      for (std::size_t b = a; b < k; ++b) {
+        double acc = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+          acc += xc(i, active_[a]) * xc(i, active_[b]);
+        }
+        gram(a, b) = acc;
+        gram(b, a) = acc;
+      }
+      gram(a, a) += 1e-10;
+      double acc = 0.0;
+      for (std::size_t i = 0; i < n; ++i) acc += xc(i, active_[a]) * (y[i] - y_mean);
+      rhs(a, 0) = acc;
+    }
+    const Matrix sol = graph::solve_spd(std::move(gram), rhs);
+    w_active = sol.column_vec(0);
+
+    // Refresh residual.
+    for (std::size_t i = 0; i < n; ++i) {
+      double pred = 0.0;
+      for (std::size_t a = 0; a < k; ++a) pred += w_active[a] * xc(i, active_[a]);
+      residual[i] = (y[i] - y_mean) - pred;
+    }
+  }
+
+  coef_.assign(d, 0.0);
+  for (std::size_t a = 0; a < active_.size(); ++a) coef_[active_[a]] = w_active[a];
+  intercept_ = y_mean;
+  for (std::size_t j = 0; j < d; ++j) intercept_ -= coef_[j] * x_mean[j];
+}
+
+double OrthogonalMatchingPursuit::predict_one(const std::vector<double>& x) const {
+  IC_ASSERT(x.size() == coef_.size());
+  double acc = intercept_;
+  for (std::size_t j = 0; j < x.size(); ++j) acc += coef_[j] * x[j];
+  return acc;
+}
+
+void Lars::fit(const Matrix& x, const std::vector<double>& y) {
+  IC_ASSERT(x.rows() == y.size());
+  const std::size_t n = x.rows();
+  const std::size_t d = x.cols();
+
+  const auto x_mean = x.col_means();
+  double y_mean = 0.0;
+  for (double v : y) y_mean += v;
+  y_mean /= static_cast<double>(n);
+
+  Matrix xc = x;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < d; ++j) xc(i, j) -= x_mean[j];
+  }
+  // Normalize columns so correlations are comparable.
+  std::vector<double> scale(d, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < d; ++j) scale[j] += xc(i, j) * xc(i, j);
+  }
+  for (std::size_t j = 0; j < d; ++j) {
+    scale[j] = scale[j] > 1e-12 ? std::sqrt(scale[j]) : 0.0;
+  }
+
+  std::vector<double> w(d, 0.0);  // coefficients in normalized space
+  std::vector<double> residual(n);
+  for (std::size_t i = 0; i < n; ++i) residual[i] = y[i] - y_mean;
+
+  for (std::size_t step = 0; step < max_steps_; ++step) {
+    std::size_t best = d;
+    double best_corr = 0.0;
+    for (std::size_t j = 0; j < d; ++j) {
+      if (scale[j] == 0.0) continue;
+      double dot = 0.0;
+      for (std::size_t i = 0; i < n; ++i) dot += xc(i, j) * residual[i];
+      dot /= scale[j];
+      if (std::fabs(dot) > std::fabs(best_corr)) {
+        best_corr = dot;
+        best = j;
+      }
+    }
+    if (best == d || std::fabs(best_corr) < 1e-10) break;
+    const double delta = step_ * (best_corr > 0.0 ? 1.0 : -1.0);
+    w[best] += delta;
+    for (std::size_t i = 0; i < n; ++i) {
+      residual[i] -= delta * xc(i, best) / scale[best];
+    }
+  }
+
+  coef_.assign(d, 0.0);
+  for (std::size_t j = 0; j < d; ++j) {
+    if (scale[j] > 0.0) coef_[j] = w[j] / scale[j];
+  }
+  intercept_ = y_mean;
+  for (std::size_t j = 0; j < d; ++j) intercept_ -= coef_[j] * x_mean[j];
+}
+
+double Lars::predict_one(const std::vector<double>& x) const {
+  IC_ASSERT(x.size() == coef_.size());
+  double acc = intercept_;
+  for (std::size_t j = 0; j < x.size(); ++j) acc += coef_[j] * x[j];
+  return acc;
+}
+
+}  // namespace ic::ml

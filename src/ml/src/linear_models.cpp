@@ -1,0 +1,145 @@
+#include "ic/ml/linear_models.hpp"
+
+#include <cmath>
+
+#include "ic/support/assert.hpp"
+
+namespace ic::ml {
+
+using graph::Matrix;
+
+namespace {
+
+/// XᵀX (D×D) and Xᵀy for a design matrix with an implicit intercept handled
+/// by centering.
+void center(const Matrix& x, const std::vector<double>& y,
+            Matrix& xc, std::vector<double>& yc,
+            std::vector<double>& x_mean, double& y_mean) {
+  const std::size_t n = x.rows();
+  const std::size_t d = x.cols();
+  x_mean = x.col_means();
+  y_mean = 0.0;
+  for (double v : y) y_mean += v;
+  y_mean /= static_cast<double>(n);
+  xc = x;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < d; ++j) xc(i, j) -= x_mean[j];
+  }
+  yc.resize(n);
+  for (std::size_t i = 0; i < n; ++i) yc[i] = y[i] - y_mean;
+}
+
+}  // namespace
+
+void LinearRegression::fit(const Matrix& x, const std::vector<double>& y) {
+  IC_ASSERT(x.rows() == y.size());
+  Matrix xc;
+  std::vector<double> yc, x_mean;
+  double y_mean;
+  center(x, y, xc, yc, x_mean, y_mean);
+
+  const Matrix xt = xc.transpose();
+  const Matrix gram = xt.matmul(xc);
+  const Matrix rhs = xt.matmul(Matrix::column(yc));
+  // Unregularized solve; near-singular Gram matrices produce the huge
+  // coefficients (and test MSE) the paper observes for LR. An *exactly*
+  // singular system gets an absurdly small jitter — enough for the
+  // elimination to finish, nowhere near enough to behave like ridge.
+  Matrix w;
+  try {
+    w = graph::solve_linear(gram, rhs);
+  } catch (const std::runtime_error&) {
+    Matrix g = gram;
+    double trace = 0.0;
+    for (std::size_t j = 0; j < g.rows(); ++j) trace += g(j, j);
+    const double jitter = std::max(1e-12, 1e-14 * trace);
+    for (std::size_t j = 0; j < g.rows(); ++j) g(j, j) += jitter;
+    w = graph::solve_linear(std::move(g), rhs);
+  }
+  coef_ = w.column_vec(0);
+  intercept_ = y_mean;
+  for (std::size_t j = 0; j < coef_.size(); ++j) {
+    intercept_ -= coef_[j] * x_mean[j];
+  }
+}
+
+double LinearRegression::predict_one(const std::vector<double>& x) const {
+  IC_ASSERT(x.size() == coef_.size());
+  double acc = intercept_;
+  for (std::size_t j = 0; j < x.size(); ++j) acc += coef_[j] * x[j];
+  return acc;
+}
+
+void RidgeRegression::fit(const Matrix& x, const std::vector<double>& y) {
+  IC_ASSERT(x.rows() == y.size());
+  Matrix xc;
+  std::vector<double> yc, x_mean;
+  double y_mean;
+  center(x, y, xc, yc, x_mean, y_mean);
+
+  const Matrix xt = xc.transpose();
+  Matrix gram = xt.matmul(xc);
+  for (std::size_t j = 0; j < gram.rows(); ++j) gram(j, j) += alpha_;
+  const Matrix rhs = xt.matmul(Matrix::column(yc));
+  const Matrix w = graph::solve_spd(std::move(gram), rhs);
+  coef_ = w.column_vec(0);
+  intercept_ = y_mean;
+  for (std::size_t j = 0; j < coef_.size(); ++j) {
+    intercept_ -= coef_[j] * x_mean[j];
+  }
+}
+
+void ElasticNet::fit(const Matrix& x, const std::vector<double>& y) {
+  IC_ASSERT(x.rows() == y.size());
+  const std::size_t n = x.rows();
+  const std::size_t d = x.cols();
+  Matrix xc;
+  std::vector<double> yc, x_mean;
+  double y_mean;
+  center(x, y, xc, yc, x_mean, y_mean);
+
+  // Per-feature squared norms.
+  std::vector<double> z(d, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < d; ++j) z[j] += xc(i, j) * xc(i, j);
+  }
+
+  const double nn = static_cast<double>(n);
+  const double l1 = alpha_ * l1_ratio_;
+  const double l2 = alpha_ * (1.0 - l1_ratio_);
+
+  coef_.assign(d, 0.0);
+  std::vector<double> residual = yc;  // r = y − Xw (w = 0 initially)
+
+  for (std::size_t iter = 0; iter < max_iter_; ++iter) {
+    double max_delta = 0.0;
+    for (std::size_t j = 0; j < d; ++j) {
+      if (z[j] == 0.0) continue;  // constant feature: coefficient stays 0
+      // rho = (1/N) Σ x_ij (r_i + x_ij w_j)
+      double rho = 0.0;
+      for (std::size_t i = 0; i < n; ++i) rho += xc(i, j) * residual[i];
+      rho = rho / nn + (z[j] / nn) * coef_[j];
+      // Soft threshold.
+      double w_new;
+      if (rho > l1) {
+        w_new = (rho - l1) / (z[j] / nn + l2);
+      } else if (rho < -l1) {
+        w_new = (rho + l1) / (z[j] / nn + l2);
+      } else {
+        w_new = 0.0;
+      }
+      const double delta = w_new - coef_[j];
+      if (delta != 0.0) {
+        for (std::size_t i = 0; i < n; ++i) residual[i] -= delta * xc(i, j);
+        coef_[j] = w_new;
+        max_delta = std::max(max_delta, std::fabs(delta));
+      }
+    }
+    if (max_delta < tol_) break;
+  }
+
+  intercept_ = y_mean;
+  for (std::size_t j = 0; j < d; ++j) intercept_ -= coef_[j] * x_mean[j];
+}
+
+}  // namespace ic::ml

@@ -1,0 +1,105 @@
+#include "ic/ml/online_models.hpp"
+
+#include <cmath>
+#include <numeric>
+
+#include "ic/support/assert.hpp"
+#include "ic/support/rng.hpp"
+
+namespace ic::ml {
+
+using graph::Matrix;
+
+void SgdRegressor::fit(const Matrix& x, const std::vector<double>& y) {
+  IC_ASSERT(x.rows() == y.size());
+  const std::size_t n = x.rows();
+  const std::size_t d = x.cols();
+  coef_.assign(d, 0.0);
+  intercept_ = 0.0;
+  Rng rng(seed_);
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+
+  std::size_t t = 0;
+  for (std::size_t epoch = 0; epoch < epochs_; ++epoch) {
+    rng.shuffle(order);
+    for (std::size_t oi : order) {
+      ++t;
+      const double eta = eta0_ / std::pow(static_cast<double>(t), power_t_);
+      double pred = intercept_;
+      for (std::size_t j = 0; j < d; ++j) pred += coef_[j] * x(oi, j);
+      const double err = pred - y[oi];
+      // Divergence is allowed (scikit-learn's SGDRegressor likewise runs
+      // off on badly scaled features — the e+25 rows of the paper's
+      // tables), but stop at the last *finite* state so the reported MSE is
+      // an astronomic number rather than NaN.
+      const double save_intercept = intercept_;
+      std::vector<double> save_coef;
+      if (!std::isfinite(err * eta)) return;
+      save_coef = coef_;
+      for (std::size_t j = 0; j < d; ++j) {
+        coef_[j] -= eta * (err * x(oi, j) + alpha_ * coef_[j]);
+      }
+      intercept_ -= eta * err;
+      bool finite = std::isfinite(intercept_);
+      for (std::size_t j = 0; finite && j < d; ++j) finite = std::isfinite(coef_[j]);
+      if (!finite) {
+        coef_ = std::move(save_coef);
+        intercept_ = save_intercept;
+        return;
+      }
+      // Stop once clearly diverged: the surviving coefficients are huge but
+      // finite, so the reported MSE lands at the paper's e+25 scale instead
+      // of overflowing.
+      double biggest = std::fabs(intercept_);
+      for (double c : coef_) biggest = std::max(biggest, std::fabs(c));
+      if (biggest > 1e12) return;
+    }
+  }
+}
+
+double SgdRegressor::predict_one(const std::vector<double>& x) const {
+  IC_ASSERT(x.size() == coef_.size());
+  double acc = intercept_;
+  for (std::size_t j = 0; j < x.size(); ++j) acc += coef_[j] * x[j];
+  return acc;
+}
+
+void PassiveAggressiveRegressor::fit(const Matrix& x, const std::vector<double>& y) {
+  IC_ASSERT(x.rows() == y.size());
+  const std::size_t n = x.rows();
+  const std::size_t d = x.cols();
+  coef_.assign(d, 0.0);
+  intercept_ = 0.0;
+  Rng rng(seed_);
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+
+  for (std::size_t epoch = 0; epoch < epochs_; ++epoch) {
+    rng.shuffle(order);
+    for (std::size_t oi : order) {
+      double pred = intercept_;
+      double norm2 = 1.0;  // +1 for the intercept "feature"
+      for (std::size_t j = 0; j < d; ++j) {
+        pred += coef_[j] * x(oi, j);
+        norm2 += x(oi, j) * x(oi, j);
+      }
+      const double err = y[oi] - pred;
+      const double loss = std::fabs(err) - epsilon_;
+      if (loss <= 0.0) continue;
+      const double tau = std::min(c_, loss / norm2);  // PA-I
+      const double s = tau * (err > 0.0 ? 1.0 : -1.0);
+      for (std::size_t j = 0; j < d; ++j) coef_[j] += s * x(oi, j);
+      intercept_ += s;
+    }
+  }
+}
+
+double PassiveAggressiveRegressor::predict_one(const std::vector<double>& x) const {
+  IC_ASSERT(x.size() == coef_.size());
+  double acc = intercept_;
+  for (std::size_t j = 0; j < x.size(); ++j) acc += coef_[j] * x[j];
+  return acc;
+}
+
+}  // namespace ic::ml

@@ -1,0 +1,78 @@
+#include "ic/ml/robust_models.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ic/support/assert.hpp"
+#include "ic/support/rng.hpp"
+
+namespace ic::ml {
+
+using graph::Matrix;
+
+void TheilSen::fit(const Matrix& x, const std::vector<double>& y) {
+  IC_ASSERT(x.rows() == y.size());
+  const std::size_t n = x.rows();
+  const std::size_t d = x.cols();
+  IC_CHECK(n >= d + 1,
+           "Theil-Sen needs at least n_features+1 samples per subset ("
+               << n << " samples, " << d << " features)");
+
+  Rng rng(seed_);
+  const std::size_t subset_size = d + 1;
+  std::vector<std::vector<double>> coef_samples;
+  std::vector<double> intercept_samples;
+
+  for (std::size_t s = 0; s < n_subsets_; ++s) {
+    const auto idx = rng.sample_without_replacement(n, subset_size);
+    // Least squares with intercept on the subset (ridge-jittered so the
+    // frequent rank-deficient draws do not abort the whole estimator).
+    Matrix gram(d + 1, d + 1);
+    Matrix rhs(d + 1, 1);
+    for (std::size_t i : idx) {
+      std::vector<double> row(d + 1);
+      row[0] = 1.0;
+      for (std::size_t j = 0; j < d; ++j) row[j + 1] = x(i, j);
+      for (std::size_t a = 0; a <= d; ++a) {
+        for (std::size_t b = 0; b <= d; ++b) gram(a, b) += row[a] * row[b];
+        rhs(a, 0) += row[a] * y[i];
+      }
+    }
+    for (std::size_t a = 0; a <= d; ++a) gram(a, a) += 1e-8;
+    Matrix sol;
+    try {
+      sol = graph::solve_spd(std::move(gram), rhs);
+    } catch (const std::runtime_error&) {
+      continue;  // degenerate subset
+    }
+    intercept_samples.push_back(sol(0, 0));
+    std::vector<double> c(d);
+    for (std::size_t j = 0; j < d; ++j) c[j] = sol(j + 1, 0);
+    coef_samples.push_back(std::move(c));
+  }
+  IC_CHECK(!coef_samples.empty(), "Theil-Sen: every subset was degenerate");
+
+  // Coordinate-wise median.
+  auto median = [](std::vector<double> v) {
+    std::sort(v.begin(), v.end());
+    const std::size_t m = v.size() / 2;
+    return v.size() % 2 ? v[m] : 0.5 * (v[m - 1] + v[m]);
+  };
+  coef_.assign(d, 0.0);
+  for (std::size_t j = 0; j < d; ++j) {
+    std::vector<double> col;
+    col.reserve(coef_samples.size());
+    for (const auto& c : coef_samples) col.push_back(c[j]);
+    coef_[j] = median(std::move(col));
+  }
+  intercept_ = median(intercept_samples);
+}
+
+double TheilSen::predict_one(const std::vector<double>& x) const {
+  IC_ASSERT(x.size() == coef_.size());
+  double acc = intercept_;
+  for (std::size_t j = 0; j < x.size(); ++j) acc += coef_[j] * x[j];
+  return acc;
+}
+
+}  // namespace ic::ml

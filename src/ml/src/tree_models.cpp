@@ -1,0 +1,196 @@
+#include "ic/ml/tree_models.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "ic/support/assert.hpp"
+#include "ic/support/rng.hpp"
+
+namespace ic::ml {
+
+using graph::Matrix;
+
+namespace {
+
+double mean_of(const std::vector<double>& y, const std::vector<std::size_t>& rows) {
+  double acc = 0.0;
+  for (std::size_t r : rows) acc += y[r];
+  return rows.empty() ? 0.0 : acc / static_cast<double>(rows.size());
+}
+
+}  // namespace
+
+std::int32_t DecisionTreeRegressor::build(const Matrix& x,
+                                          const std::vector<double>& y,
+                                          std::vector<std::size_t>& rows,
+                                          std::size_t depth, Rng& rng) {
+  Node node;
+  node.value = mean_of(y, rows);
+
+  // Stop: depth, size, or zero variance.
+  bool pure = true;
+  for (std::size_t r : rows) {
+    if (y[r] != y[rows[0]]) {
+      pure = false;
+      break;
+    }
+  }
+  if (depth >= max_depth_ || rows.size() < 2 * min_leaf_ || pure) {
+    nodes_.push_back(node);
+    return static_cast<std::int32_t>(nodes_.size() - 1);
+  }
+
+  // Candidate features (random subset for forests).
+  const std::size_t d = x.cols();
+  std::vector<std::size_t> features(d);
+  for (std::size_t j = 0; j < d; ++j) features[j] = j;
+  if (feature_subset_ > 0 && feature_subset_ < d) {
+    rng.shuffle(features);
+    features.resize(feature_subset_);
+  }
+
+  // Best split by weighted-variance (sum-of-squares) reduction.
+  double best_score = std::numeric_limits<double>::infinity();
+  int best_feature = -1;
+  double best_threshold = 0.0;
+  std::vector<std::pair<double, std::size_t>> order;
+  for (std::size_t j : features) {
+    order.clear();
+    for (std::size_t r : rows) order.emplace_back(x(r, j), r);
+    std::sort(order.begin(), order.end());
+    // Prefix sums for O(n) split scan.
+    double left_sum = 0.0, left_sq = 0.0;
+    double total_sum = 0.0, total_sq = 0.0;
+    for (const auto& [v, r] : order) {
+      total_sum += y[r];
+      total_sq += y[r] * y[r];
+    }
+    for (std::size_t i = 0; i + 1 < order.size(); ++i) {
+      const double yi = y[order[i].second];
+      left_sum += yi;
+      left_sq += yi * yi;
+      if (order[i].first == order[i + 1].first) continue;  // no cut point
+      const std::size_t nl = i + 1;
+      const std::size_t nr = order.size() - nl;
+      if (nl < min_leaf_ || nr < min_leaf_) continue;
+      const double right_sum = total_sum - left_sum;
+      const double right_sq = total_sq - left_sq;
+      const double sse_left = left_sq - left_sum * left_sum / static_cast<double>(nl);
+      const double sse_right =
+          right_sq - right_sum * right_sum / static_cast<double>(nr);
+      const double score = sse_left + sse_right;
+      if (score < best_score) {
+        best_score = score;
+        best_feature = static_cast<int>(j);
+        best_threshold = 0.5 * (order[i].first + order[i + 1].first);
+      }
+    }
+  }
+  if (best_feature < 0) {
+    nodes_.push_back(node);
+    return static_cast<std::int32_t>(nodes_.size() - 1);
+  }
+
+  std::vector<std::size_t> left_rows, right_rows;
+  for (std::size_t r : rows) {
+    (x(r, static_cast<std::size_t>(best_feature)) <= best_threshold ? left_rows
+                                                                    : right_rows)
+        .push_back(r);
+  }
+  node.feature = best_feature;
+  node.threshold = best_threshold;
+  nodes_.push_back(node);
+  const auto index = static_cast<std::int32_t>(nodes_.size() - 1);
+  nodes_[static_cast<std::size_t>(index)].left = build(x, y, left_rows, depth + 1, rng);
+  nodes_[static_cast<std::size_t>(index)].right =
+      build(x, y, right_rows, depth + 1, rng);
+  return index;
+}
+
+void DecisionTreeRegressor::fit(const Matrix& x, const std::vector<double>& y) {
+  IC_ASSERT(x.rows() == y.size() && !y.empty());
+  nodes_.clear();
+  Rng rng(seed_);
+  std::vector<std::size_t> rows(x.rows());
+  for (std::size_t i = 0; i < rows.size(); ++i) rows[i] = i;
+  root_ = build(x, y, rows, 0, rng);
+}
+
+double DecisionTreeRegressor::predict_one(const std::vector<double>& x) const {
+  IC_ASSERT(root_ >= 0);
+  const Node* node = &nodes_[static_cast<std::size_t>(root_)];
+  while (node->feature >= 0) {
+    IC_ASSERT(static_cast<std::size_t>(node->feature) < x.size());
+    node = x[static_cast<std::size_t>(node->feature)] <= node->threshold
+               ? &nodes_[static_cast<std::size_t>(node->left)]
+               : &nodes_[static_cast<std::size_t>(node->right)];
+  }
+  return node->value;
+}
+
+void RandomForestRegressor::fit(const Matrix& x, const std::vector<double>& y) {
+  IC_ASSERT(x.rows() == y.size() && !y.empty());
+  trees_.clear();
+  Rng rng(seed_);
+  const std::size_t n = x.rows();
+  const std::size_t subset =
+      std::max<std::size_t>(1, static_cast<std::size_t>(
+                                   std::sqrt(static_cast<double>(x.cols()))));
+  for (std::size_t t = 0; t < n_trees_; ++t) {
+    // Bootstrap sample.
+    Matrix bx(n, x.cols());
+    std::vector<double> by(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t r = rng.index(n);
+      for (std::size_t j = 0; j < x.cols(); ++j) bx(i, j) = x(r, j);
+      by[i] = y[r];
+    }
+    trees_.emplace_back(max_depth_, 3, subset, rng.fork());
+    trees_.back().fit(bx, by);
+  }
+}
+
+double RandomForestRegressor::predict_one(const std::vector<double>& x) const {
+  IC_ASSERT(!trees_.empty());
+  double acc = 0.0;
+  for (const auto& t : trees_) acc += t.predict_one(x);
+  return acc / static_cast<double>(trees_.size());
+}
+
+void KnnRegressor::fit(const Matrix& x, const std::vector<double>& y) {
+  IC_ASSERT(x.rows() == y.size() && !y.empty());
+  train_x_ = x;
+  train_y_ = y;
+}
+
+double KnnRegressor::predict_one(const std::vector<double>& x) const {
+  IC_ASSERT(!train_y_.empty());
+  IC_ASSERT(x.size() == train_x_.cols());
+  const std::size_t k = std::min(k_, train_y_.size());
+  // Max-heap of the k smallest distances.
+  std::priority_queue<std::pair<double, std::size_t>> heap;
+  for (std::size_t i = 0; i < train_x_.rows(); ++i) {
+    double d2 = 0.0;
+    for (std::size_t j = 0; j < x.size(); ++j) {
+      const double d = train_x_(i, j) - x[j];
+      d2 += d * d;
+    }
+    if (heap.size() < k) {
+      heap.emplace(d2, i);
+    } else if (d2 < heap.top().first) {
+      heap.pop();
+      heap.emplace(d2, i);
+    }
+  }
+  double acc = 0.0;
+  const double count = static_cast<double>(heap.size());
+  while (!heap.empty()) {
+    acc += train_y_[heap.top().second];
+    heap.pop();
+  }
+  return acc / count;
+}
+
+}  // namespace ic::ml

@@ -1,0 +1,71 @@
+// Graph convolution layer with a pluggable structure operator.
+//
+// Two modes:
+//   * Propagate  — H_out = S · H · W + b          (GCN and ICNet; S is the
+//     renormalized propagation matrix or, for ICNet, the raw adjacency)
+//   * Chebyshev  — H_out = Σ_k T_k(S) · H · W_k + b with the recurrence
+//     T_0 = I, T_1 = S, T_k = 2 S T_{k−1} − T_{k−2}   (ChebNet; S is the
+//     scaled normalized Laplacian)
+// Manual backward pass; gradients accumulate until zero_grad().
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ic/graph/matrix.hpp"
+#include "ic/graph/sparse.hpp"
+
+namespace ic::nn {
+
+enum class ConvMode { Propagate, Chebyshev };
+
+class GraphConv {
+ public:
+  /// `order` is the number of weight matrices: 1 for Propagate, the
+  /// Chebyshev polynomial order K for Chebyshev.
+  GraphConv(ConvMode mode, std::size_t order, std::size_t in_features,
+            std::size_t out_features, Rng& rng);
+
+  /// Forward pass; caches activations for backward().
+  graph::Matrix forward(const graph::SparseMatrix& structure,
+                        const graph::Matrix& input);
+
+  /// Backward pass for the most recent forward(); returns dL/d(input) and
+  /// accumulates dL/dW, dL/db.
+  graph::Matrix backward(const graph::Matrix& d_output);
+
+  void zero_grad();
+  std::vector<graph::Matrix*> parameters();
+  std::vector<graph::Matrix*> gradients();
+
+  std::size_t in_features() const { return in_features_; }
+  std::size_t out_features() const { return out_features_; }
+  ConvMode mode() const { return mode_; }
+
+ private:
+  ConvMode mode_;
+  std::size_t order_;
+  std::size_t in_features_;
+  std::size_t out_features_;
+
+  std::vector<graph::Matrix> weights_;  // order_ matrices (in×out)
+  graph::Matrix bias_;                  // 1×out, broadcast over gates
+  std::vector<graph::Matrix> d_weights_;
+  graph::Matrix d_bias_;
+
+  // caches
+  const graph::SparseMatrix* structure_ = nullptr;
+  std::vector<graph::Matrix> basis_;  // Z_k (Chebyshev) or {S·H} (Propagate)
+};
+
+/// Elementwise ReLU with cached mask.
+class Relu {
+ public:
+  graph::Matrix forward(const graph::Matrix& input);
+  graph::Matrix backward(const graph::Matrix& d_output) const;
+
+ private:
+  graph::Matrix mask_;
+};
+
+}  // namespace ic::nn

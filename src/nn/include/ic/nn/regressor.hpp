@@ -1,0 +1,105 @@
+// Whole-graph regressor: graph convolutions + readout + scalar head.
+//
+// This single class instantiates the three models of the paper's evaluation:
+//   * ICNet   — Propagate convs over the raw adjacency matrix, attention
+//               (Θ_feat, Θ_gate) or sum/mean readout, exp output head (Eq. 3)
+//   * GCN     — Propagate convs over D̃^{-1/2}(A+I)D̃^{-1/2}
+//   * ChebNet — Chebyshev convs over the scaled normalized Laplacian
+// The variant is decided purely by which structure operator the caller feeds
+// in and by the config flags, so ablations (DESIGN.md §4) swap one knob at a
+// time.
+//
+// Output head: with exp_head the raw-scale prediction is exp(z) (runtime
+// grows exponentially in key bits, §III.B); trained against log-scale
+// targets this is exactly softplus(z) = log(1 + exp(z)), which is how it is
+// computed here (numerically stable; see DESIGN.md §5).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "ic/nn/graph_conv.hpp"
+
+namespace ic::nn {
+
+enum class Readout {
+  Sum,        ///< r_j = Σ_g H[g,j]
+  Mean,       ///< r_j = (1/n) Σ_g H[g,j]
+  Attention,  ///< learned feature- then gate-attention (the "-NN" variants)
+};
+
+struct GnnConfig {
+  ConvMode conv_mode = ConvMode::Propagate;
+  std::size_t cheb_order = 3;       ///< used when conv_mode == Chebyshev
+  std::size_t in_features = 7;      ///< gate mask + one-hot type
+  std::vector<std::size_t> hidden = {16, 8};  ///< two graph convolutions (Fig. 2)
+  Readout readout = Readout::Attention;
+  bool exp_head = true;
+  std::uint64_t seed = 1;
+};
+
+class GnnRegressor {
+ public:
+  explicit GnnRegressor(const GnnConfig& config);
+
+  /// Predict the (log-scale) runtime for one graph. Does not cache.
+  double predict(const graph::SparseMatrix& structure,
+                 const graph::Matrix& features);
+
+  /// Forward with caches retained for backward().
+  double forward(const graph::SparseMatrix& structure,
+                 const graph::Matrix& features);
+
+  /// Backpropagate dL/d(prediction); accumulates parameter gradients.
+  void backward(double d_prediction);
+
+  /// Initialize the output head so the untrained model predicts roughly
+  /// `target_mean`. Adam moves each scalar by ~learning-rate per step, so
+  /// without this the head bias needs thousands of steps just to reach the
+  /// label offset. Called by train_gnn before the first epoch.
+  void warm_start_head(double target_mean);
+
+  void zero_grad();
+  std::vector<graph::Matrix*> parameters();
+  std::vector<graph::Matrix*> gradients();
+  std::size_t parameter_count() const;
+
+  const GnnConfig& config() const { return config_; }
+
+  /// Feature-attention weights a_j of the last forward (Attention readout
+  /// only) — the quantity behind the paper's Table III case study.
+  const std::vector<double>& last_feature_attention() const {
+    return feat_attention_;
+  }
+  /// Gate-attention weights b_g of the last forward (Attention readout only).
+  const std::vector<double>& last_gate_attention() const {
+    return gate_attention_;
+  }
+
+ private:
+  double head_forward(const std::vector<double>& readout_vec);
+
+  GnnConfig config_;
+  std::vector<GraphConv> convs_;
+  std::vector<Relu> relus_;
+
+  // Attention parameters (1×d / 1×1 matrices so the optimizer is uniform).
+  graph::Matrix theta_feat_, d_theta_feat_;  // 1×d
+  graph::Matrix phi_gate_, d_phi_gate_;      // 1×1
+  // Head parameters.
+  graph::Matrix head_w_, d_head_w_;  // r_dim×1
+  graph::Matrix head_b_, d_head_b_;  // 1×1
+
+  // ---- forward caches ----
+  graph::Matrix h_;                     // output of conv stack (n×d)
+  std::vector<double> readout_vec_;     // r (d, or 1 for attention)
+  std::vector<double> feat_means_;      // m_j
+  std::vector<double> feat_attention_;  // a_j
+  std::vector<double> gate_repr_;       // p_g
+  std::vector<double> gate_attention_;  // b_g
+  double z_ = 0.0;
+  std::size_t n_gates_ = 0;
+};
+
+}  // namespace ic::nn

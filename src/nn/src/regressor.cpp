@@ -1,0 +1,253 @@
+#include "ic/nn/regressor.hpp"
+
+#include <cmath>
+
+namespace ic::nn {
+
+using graph::Matrix;
+using graph::SparseMatrix;
+
+namespace {
+
+double softplus(double z) {
+  // log(1 + exp(z)) without overflow.
+  if (z > 30.0) return z;
+  if (z < -30.0) return std::exp(z);
+  return std::log1p(std::exp(z));
+}
+
+double sigmoid(double z) {
+  if (z >= 0.0) {
+    const double e = std::exp(-z);
+    return 1.0 / (1.0 + e);
+  }
+  const double e = std::exp(z);
+  return e / (1.0 + e);
+}
+
+void softmax_inplace(std::vector<double>& v) {
+  double mx = v[0];
+  for (double x : v) mx = std::max(mx, x);
+  double sum = 0.0;
+  for (double& x : v) {
+    x = std::exp(x - mx);
+    sum += x;
+  }
+  for (double& x : v) x /= sum;
+}
+
+}  // namespace
+
+GnnRegressor::GnnRegressor(const GnnConfig& config) : config_(config) {
+  IC_ASSERT(!config.hidden.empty());
+  Rng rng(config.seed);
+  std::size_t in = config.in_features;
+  for (std::size_t h : config.hidden) {
+    const std::size_t order =
+        config.conv_mode == ConvMode::Chebyshev ? config.cheb_order : 1;
+    convs_.emplace_back(config.conv_mode, order, in, h, rng);
+    relus_.emplace_back();
+    in = h;
+  }
+  const std::size_t d = config.hidden.back();
+  const std::size_t r_dim = config.readout == Readout::Attention ? 1 : d;
+
+  theta_feat_ = Matrix::random_uniform(1, d, 0.5, rng);
+  d_theta_feat_ = Matrix(1, d);
+  phi_gate_ = Matrix::random_uniform(1, 1, 0.5, rng);
+  d_phi_gate_ = Matrix(1, 1);
+  head_w_ = Matrix::random_uniform(r_dim, 1, std::sqrt(6.0 / (r_dim + 1.0)), rng);
+  d_head_w_ = Matrix(r_dim, 1);
+  head_b_ = Matrix(1, 1);
+  // Start the exponential head in its linear region: softplus saturates to
+  // zero gradient for z << 0, which would freeze training if the first
+  // updates overshoot.
+  if (config.exp_head) head_b_(0, 0) = 1.0;
+  d_head_b_ = Matrix(1, 1);
+}
+
+void GnnRegressor::warm_start_head(double target_mean) {
+  if (config_.exp_head) {
+    // softplus(b) = m  =>  b = log(exp(m) − 1); for m ≳ 3 that is ≈ m.
+    head_b_(0, 0) = target_mean > 3.0 ? target_mean
+                                      : std::log(std::expm1(std::max(0.05, target_mean)));
+  } else {
+    head_b_(0, 0) = target_mean;
+  }
+}
+
+double GnnRegressor::head_forward(const std::vector<double>& r) {
+  IC_ASSERT(r.size() == static_cast<std::size_t>(head_w_.rows()));
+  double z = head_b_(0, 0);
+  for (std::size_t i = 0; i < r.size(); ++i) z += r[i] * head_w_(i, 0);
+  z_ = z;
+  return config_.exp_head ? softplus(z) : z;
+}
+
+double GnnRegressor::forward(const SparseMatrix& s, const Matrix& x) {
+  IC_ASSERT(x.cols() == config_.in_features);
+  n_gates_ = x.rows();
+  Matrix h = x;
+  for (std::size_t i = 0; i < convs_.size(); ++i) {
+    h = relus_[i].forward(convs_[i].forward(s, h));
+  }
+  h_ = std::move(h);
+  const std::size_t d = h_.cols();
+  const std::size_t n = h_.rows();
+
+  readout_vec_.clear();
+  switch (config_.readout) {
+    case Readout::Sum:
+      readout_vec_ = h_.col_sums();
+      break;
+    case Readout::Mean:
+      readout_vec_ = h_.col_means();
+      break;
+    case Readout::Attention: {
+      // Feature attention: a = softmax_j(θ_j · mean_g H[g,j]).
+      feat_means_ = h_.col_means();
+      feat_attention_.assign(d, 0.0);
+      for (std::size_t j = 0; j < d; ++j) {
+        feat_attention_[j] = theta_feat_(0, j) * feat_means_[j];
+      }
+      softmax_inplace(feat_attention_);
+      // Per-gate scalar p_g = Σ_j a_j H[g,j].
+      gate_repr_.assign(n, 0.0);
+      for (std::size_t g = 0; g < n; ++g) {
+        double acc = 0.0;
+        for (std::size_t j = 0; j < d; ++j) acc += feat_attention_[j] * h_(g, j);
+        gate_repr_[g] = acc;
+      }
+      // Gate attention: b = softmax_g(φ · p_g); r = Σ_g b_g p_g.
+      gate_attention_ = gate_repr_;
+      for (double& sgi : gate_attention_) sgi *= phi_gate_(0, 0);
+      softmax_inplace(gate_attention_);
+      double r = 0.0;
+      for (std::size_t g = 0; g < n; ++g) r += gate_attention_[g] * gate_repr_[g];
+      readout_vec_.push_back(r);
+      break;
+    }
+  }
+  return head_forward(readout_vec_);
+}
+
+double GnnRegressor::predict(const SparseMatrix& s, const Matrix& x) {
+  return forward(s, x);
+}
+
+void GnnRegressor::backward(double d_pred) {
+  const std::size_t d = h_.cols();
+  const std::size_t n = h_.rows();
+
+  // Head.
+  const double dz = config_.exp_head ? d_pred * sigmoid(z_) : d_pred;
+  d_head_b_(0, 0) += dz;
+  std::vector<double> dr(readout_vec_.size());
+  for (std::size_t i = 0; i < readout_vec_.size(); ++i) {
+    d_head_w_(i, 0) += dz * readout_vec_[i];
+    dr[i] = dz * head_w_(i, 0);
+  }
+
+  Matrix dh(n, d);
+  switch (config_.readout) {
+    case Readout::Sum:
+      for (std::size_t g = 0; g < n; ++g) {
+        for (std::size_t j = 0; j < d; ++j) dh(g, j) = dr[j];
+      }
+      break;
+    case Readout::Mean: {
+      const double inv_n = 1.0 / static_cast<double>(n);
+      for (std::size_t g = 0; g < n; ++g) {
+        for (std::size_t j = 0; j < d; ++j) dh(g, j) = dr[j] * inv_n;
+      }
+      break;
+    }
+    case Readout::Attention: {
+      const double drs = dr[0];
+      const double phi = phi_gate_(0, 0);
+      // r = Σ_g b_g p_g with b = softmax(φ p).
+      // dr/dp_g = b_g + φ b_g (p_g − r).
+      const double r = readout_vec_[0];
+      std::vector<double> dp(n);
+      double dphi = 0.0;
+      for (std::size_t g = 0; g < n; ++g) {
+        const double bg = gate_attention_[g];
+        const double pg = gate_repr_[g];
+        dp[g] = drs * (bg + phi * bg * (pg - r));
+        dphi += drs * bg * (pg - r) * pg;
+      }
+      d_phi_gate_(0, 0) += dphi;
+
+      // p_g = Σ_j a_j H[g,j]; a = softmax(e), e_j = θ_j m_j, m = col means.
+      std::vector<double> da(d, 0.0);
+      for (std::size_t g = 0; g < n; ++g) {
+        for (std::size_t j = 0; j < d; ++j) {
+          dh(g, j) = dp[g] * feat_attention_[j];  // direct path
+          da[j] += dp[g] * h_(g, j);
+        }
+      }
+      // Softmax backward.
+      double dot = 0.0;
+      for (std::size_t j = 0; j < d; ++j) dot += feat_attention_[j] * da[j];
+      const double inv_n = 1.0 / static_cast<double>(n);
+      for (std::size_t j = 0; j < d; ++j) {
+        const double de = feat_attention_[j] * (da[j] - dot);
+        d_theta_feat_(0, j) += de * feat_means_[j];
+        const double dm = de * theta_feat_(0, j);
+        for (std::size_t g = 0; g < n; ++g) dh(g, j) += dm * inv_n;
+      }
+      break;
+    }
+  }
+
+  // Conv stack in reverse.
+  for (std::size_t i = convs_.size(); i-- > 0;) {
+    dh = convs_[i].backward(relus_[i].backward(dh));
+  }
+}
+
+void GnnRegressor::zero_grad() {
+  for (auto& c : convs_) c.zero_grad();
+  d_theta_feat_ *= 0.0;
+  d_phi_gate_ *= 0.0;
+  d_head_w_ *= 0.0;
+  d_head_b_ *= 0.0;
+}
+
+std::vector<Matrix*> GnnRegressor::parameters() {
+  std::vector<Matrix*> out;
+  for (auto& c : convs_) {
+    for (auto* p : c.parameters()) out.push_back(p);
+  }
+  if (config_.readout == Readout::Attention) {
+    out.push_back(&theta_feat_);
+    out.push_back(&phi_gate_);
+  }
+  out.push_back(&head_w_);
+  out.push_back(&head_b_);
+  return out;
+}
+
+std::vector<Matrix*> GnnRegressor::gradients() {
+  std::vector<Matrix*> out;
+  for (auto& c : convs_) {
+    for (auto* g : c.gradients()) out.push_back(g);
+  }
+  if (config_.readout == Readout::Attention) {
+    out.push_back(&d_theta_feat_);
+    out.push_back(&d_phi_gate_);
+  }
+  out.push_back(&d_head_w_);
+  out.push_back(&d_head_b_);
+  return out;
+}
+
+std::size_t GnnRegressor::parameter_count() const {
+  std::size_t count = 0;
+  for (const auto& c : const_cast<GnnRegressor*>(this)->parameters()) {
+    count += c->size();
+  }
+  return count;
+}
+
+}  // namespace ic::nn

@@ -1,0 +1,97 @@
+#include "ic/nn/trainer.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <numeric>
+
+#include "ic/nn/optimizer.hpp"
+#include "ic/support/rng.hpp"
+
+namespace ic::nn {
+
+TrainReport train_gnn(GnnRegressor& model, const std::vector<GraphSample>& train,
+                      const TrainOptions& options) {
+  IC_ASSERT(!train.empty());
+  TrainReport report;
+  Adam optimizer(options.learning_rate, 0.9, 0.999, 1e-8, options.weight_decay);
+  Rng rng(options.seed);
+  auto params = model.parameters();
+  auto grads = model.gradients();
+
+  std::vector<std::size_t> order(train.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+
+  double target_mean = 0.0;
+  for (const GraphSample& s : train) target_mean += s.target;
+  model.warm_start_head(target_mean / static_cast<double>(train.size()));
+
+  double best_loss = std::numeric_limits<double>::infinity();
+  std::size_t stale = 0;
+
+  for (std::size_t epoch = 0; epoch < options.max_epochs; ++epoch) {
+    rng.shuffle(order);
+    double epoch_loss = 0.0;
+    for (std::size_t start = 0; start < order.size(); start += options.batch_size) {
+      const std::size_t end = std::min(order.size(), start + options.batch_size);
+      model.zero_grad();
+      for (std::size_t i = start; i < end; ++i) {
+        const GraphSample& sample = train[order[i]];
+        const double pred = model.forward(*sample.structure, sample.features);
+        const double residual = pred - sample.target;
+        epoch_loss += residual * residual;
+        // d/dpred of (pred − y)² averaged over the batch.
+        model.backward(2.0 * residual / static_cast<double>(end - start));
+      }
+      if (options.max_grad_norm > 0.0) {
+        double norm2 = 0.0;
+        for (const auto* g : grads) {
+          const double n = g->frobenius_norm();
+          norm2 += n * n;
+        }
+        const double norm = std::sqrt(norm2);
+        if (norm > options.max_grad_norm) {
+          const double scale = options.max_grad_norm / norm;
+          for (auto* g : grads) *g *= scale;
+        }
+      }
+      optimizer.step(params, grads);
+    }
+    epoch_loss /= static_cast<double>(train.size());
+    report.epoch_losses.push_back(epoch_loss);
+    ++report.epochs_run;
+    if (options.verbose && epoch % 20 == 0) {
+      std::printf("  epoch %zu  train mse %.6f\n", epoch, epoch_loss);
+    }
+    if (epoch_loss < best_loss * (1.0 - options.tolerance)) {
+      best_loss = epoch_loss;
+      stale = 0;
+    } else if (++stale >= options.patience) {
+      break;  // converged
+    }
+  }
+  report.final_train_mse = report.epoch_losses.back();
+  return report;
+}
+
+double evaluate_mse(GnnRegressor& model, const std::vector<GraphSample>& samples) {
+  IC_ASSERT(!samples.empty());
+  double acc = 0.0;
+  for (const GraphSample& s : samples) {
+    const double r = model.predict(*s.structure, s.features) - s.target;
+    acc += r * r;
+  }
+  return acc / static_cast<double>(samples.size());
+}
+
+std::vector<double> predict_all(GnnRegressor& model,
+                                const std::vector<GraphSample>& samples) {
+  std::vector<double> out;
+  out.reserve(samples.size());
+  for (const GraphSample& s : samples) {
+    out.push_back(model.predict(*s.structure, s.features));
+  }
+  return out;
+}
+
+}  // namespace ic::nn

@@ -1,0 +1,32 @@
+// DIMACS CNF import/export — lets the solver interoperate with standard SAT
+// tooling and gives the tests a corpus format.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ic/sat/types.hpp"
+
+namespace ic::sat {
+
+/// A plain CNF container (variables are 0-based internally).
+struct Cnf {
+  std::size_t num_vars = 0;
+  std::vector<std::vector<Lit>> clauses;
+
+  void add_clause(std::vector<Lit> lits);
+  /// Ensure the container knows about variable v.
+  Var new_var();
+};
+
+/// Parse DIMACS text ("p cnf V C" header, clauses terminated by 0).
+Cnf parse_dimacs(std::string_view text);
+
+/// Serialize to DIMACS text.
+std::string write_dimacs(const Cnf& cnf);
+
+/// Evaluate a CNF under a full assignment (index = var).
+bool cnf_satisfied(const Cnf& cnf, const std::vector<bool>& assignment);
+
+}  // namespace ic::sat

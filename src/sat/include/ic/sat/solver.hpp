@@ -1,0 +1,164 @@
+// Conflict-driven clause-learning (CDCL) SAT solver.
+//
+// A from-scratch MiniSat-style solver: two-watched-literal propagation,
+// first-UIP conflict analysis, VSIDS branching with phase saving, Luby
+// restarts, and activity-based learnt-clause database reduction. It solves
+// incrementally under assumptions, which is what the oracle-guided SAT
+// attack needs (the clause database persists across DIP iterations).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "ic/sat/types.hpp"
+
+namespace ic::sat {
+
+enum class Result { Sat, Unsat, Unknown };
+
+/// Effort counters. These are the deterministic "runtime" measure used by
+/// the attack labeler (see DESIGN.md §3).
+struct SolverStats {
+  std::uint64_t decisions = 0;
+  std::uint64_t propagations = 0;
+  std::uint64_t conflicts = 0;
+  std::uint64_t restarts = 0;
+  std::uint64_t learnt_literals = 0;
+  std::uint64_t clauses_added = 0;
+};
+
+struct SolverConfig {
+  double var_decay = 0.95;
+  double clause_decay = 0.999;
+  /// Initial restart interval in conflicts (multiplied by the Luby sequence).
+  std::uint64_t restart_base = 100;
+  /// Learnt-DB reduction threshold: reduce when learnt count exceeds
+  /// max(db_base, db_factor * problem clauses).
+  std::size_t db_base = 4000;
+  double db_factor = 0.5;
+  /// Conflict budget for solve(); 0 = unlimited. Exhausted budget returns
+  /// Result::Unknown.
+  std::uint64_t max_conflicts = 0;
+};
+
+class Solver {
+ public:
+  explicit Solver(SolverConfig config = {});
+
+  /// Create a fresh variable; returns its index.
+  Var new_var();
+  std::size_t num_vars() const { return static_cast<std::size_t>(next_var_); }
+
+  /// Add a problem clause. Returns false if the clause (or the accumulated
+  /// formula) is already trivially unsatisfiable at level 0; the solver then
+  /// answers Unsat forever.
+  bool add_clause(std::vector<Lit> lits);
+
+  /// Solve under the given assumptions. Incremental: may be called many
+  /// times, interleaved with add_clause.
+  Result solve(const std::vector<Lit>& assumptions = {});
+
+  /// Model value of v after a Sat answer.
+  bool model_value(Var v) const;
+
+  /// Adjust the conflict budget for subsequent solve() calls (0 = unlimited).
+  void set_max_conflicts(std::uint64_t budget) { config_.max_conflicts = budget; }
+
+  const SolverStats& stats() const { return stats_; }
+  bool okay() const { return ok_; }
+  std::size_t num_clauses() const { return num_problem_clauses_; }
+  std::size_t num_learnts() const { return num_learnt_clauses_; }
+
+ private:
+  using ClauseRef = std::uint32_t;
+  static constexpr ClauseRef kNoReason = static_cast<ClauseRef>(-1);
+
+  // ---- assignment & trail ----
+  LBool value(Lit l) const {
+    const LBool v = assigns_[static_cast<std::size_t>(l.var())];
+    return v ^ l.negated();
+  }
+  LBool value(Var v) const { return assigns_[static_cast<std::size_t>(v)]; }
+  int level(Var v) const { return level_[static_cast<std::size_t>(v)]; }
+  int decision_level() const { return static_cast<int>(trail_lim_.size()); }
+
+  void enqueue(Lit l, ClauseRef reason);
+  ClauseRef propagate();  // kNoReason if no conflict, else conflicting clause
+  void new_decision_level() { trail_lim_.push_back(trail_.size()); }
+  void cancel_until(int target_level);
+
+  // ---- conflict analysis ----
+  void analyze(ClauseRef conflict, std::vector<Lit>& out_learnt, int& out_level);
+  bool lit_redundant(Lit l, std::uint32_t abstract_levels);
+
+  // ---- heuristics ----
+  void bump_var(Var v);
+  void decay_var_activity() { var_inc_ /= config_.var_decay; }
+  void bump_clause(Clause& c);
+  void decay_clause_activity() { clause_inc_ /= config_.clause_decay; }
+  Lit pick_branch_lit();
+  void reduce_db();
+  static std::uint64_t luby(std::uint64_t i);
+
+  // ---- clause management ----
+  /// Level-0 simplification: drop clauses already satisfied by the root
+  /// assignment and strip root-false literals. Essential for the attack's
+  /// incremental use, where each DIP iteration retires whole circuit copies
+  /// via unit clauses.
+  void simplify();
+  ClauseRef alloc_clause(std::vector<Lit> lits, bool learnt);
+  void attach_clause(ClauseRef ref);
+  void detach_clause(ClauseRef ref);
+  Clause& clause(ClauseRef ref) { return *clauses_[ref]; }
+  const Clause& clause(ClauseRef ref) const { return *clauses_[ref]; }
+
+  // ---- order heap (priority queue over var activity) ----
+  void heap_insert(Var v);
+  void heap_update(Var v);
+  Var heap_pop();
+  bool heap_empty() const { return heap_.empty(); }
+  void heap_sift_up(std::size_t i);
+  void heap_sift_down(std::size_t i);
+
+  SolverConfig config_;
+  bool ok_ = true;
+
+  Var next_var_ = 0;
+  std::vector<LBool> assigns_;
+  std::vector<bool> polarity_;      // saved phase (true = last assigned true)
+  std::vector<int> level_;
+  std::vector<ClauseRef> reason_;
+  std::vector<double> activity_;
+  double var_inc_ = 1.0;
+  double clause_inc_ = 1.0;
+
+  std::vector<std::unique_ptr<Clause>> clauses_;
+  std::size_t num_problem_clauses_ = 0;
+  std::size_t num_learnt_clauses_ = 0;
+
+  // watches_[lit.code()] = clauses watching lit.
+  std::vector<std::vector<ClauseRef>> watches_;
+
+  std::vector<Lit> trail_;
+  std::vector<std::size_t> trail_lim_;
+  std::size_t qhead_ = 0;
+
+  // order heap over activity
+  std::vector<Var> heap_;
+  std::vector<int> heap_pos_;  // -1 if absent
+
+  // analyze() scratch
+  std::vector<bool> seen_;
+
+  // snapshot of the satisfying assignment from the last Sat answer
+  std::vector<LBool> model_;
+
+  // trail size at the last simplify(); skip the sweep when nothing new was
+  // fixed at the root level
+  std::size_t simplify_trail_size_ = 0;
+
+  SolverStats stats_;
+};
+
+}  // namespace ic::sat

@@ -1,0 +1,73 @@
+// Core SAT types: variables, literals, and three-valued assignments.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ic/support/assert.hpp"
+
+namespace ic::sat {
+
+/// Variable index, 0-based.
+using Var = std::int32_t;
+
+inline constexpr Var kNoVar = -1;
+
+/// Literal: variable with sign, encoded as 2*var + (negated ? 1 : 0).
+class Lit {
+ public:
+  Lit() = default;
+  Lit(Var v, bool negated) : code_(2 * v + (negated ? 1 : 0)) { IC_ASSERT(v >= 0); }
+
+  static Lit from_code(std::int32_t code) {
+    Lit l;
+    l.code_ = code;
+    return l;
+  }
+
+  Var var() const { return code_ >> 1; }
+  bool negated() const { return code_ & 1; }
+  std::int32_t code() const { return code_; }
+
+  Lit operator~() const { return from_code(code_ ^ 1); }
+  bool operator==(const Lit& o) const { return code_ == o.code_; }
+  bool operator!=(const Lit& o) const { return code_ != o.code_; }
+  bool operator<(const Lit& o) const { return code_ < o.code_; }
+
+  /// DIMACS representation: 1-based, negative when negated.
+  std::int32_t dimacs() const {
+    return negated() ? -(var() + 1) : (var() + 1);
+  }
+
+ private:
+  std::int32_t code_ = -2;
+};
+
+/// Positive literal of v.
+inline Lit pos(Var v) { return Lit(v, false); }
+/// Negative literal of v.
+inline Lit neg(Var v) { return Lit(v, true); }
+
+/// Three-valued logic for partial assignments.
+enum class LBool : std::uint8_t { False = 0, True = 1, Undef = 2 };
+
+inline LBool lbool_from(bool b) { return b ? LBool::True : LBool::False; }
+inline LBool operator^(LBool v, bool flip) {
+  if (v == LBool::Undef) return v;
+  return lbool_from((v == LBool::True) != flip);
+}
+
+/// A clause: disjunction of literals. Learnt clauses carry an activity used
+/// by the reduce-DB heuristic.
+struct Clause {
+  std::vector<Lit> lits;
+  double activity = 0.0;
+  bool learnt = false;
+  bool deleted = false;
+
+  std::size_t size() const { return lits.size(); }
+  Lit& operator[](std::size_t i) { return lits[i]; }
+  Lit operator[](std::size_t i) const { return lits[i]; }
+};
+
+}  // namespace ic::sat

@@ -1,0 +1,95 @@
+#include "ic/sat/dimacs.hpp"
+
+#include <sstream>
+
+#include "ic/support/assert.hpp"
+#include "ic/support/strings.hpp"
+
+namespace ic::sat {
+
+void Cnf::add_clause(std::vector<Lit> lits) {
+  for (Lit l : lits) {
+    IC_ASSERT(l.var() >= 0);
+    num_vars = std::max(num_vars, static_cast<std::size_t>(l.var()) + 1);
+  }
+  clauses.push_back(std::move(lits));
+}
+
+Var Cnf::new_var() { return static_cast<Var>(num_vars++); }
+
+Cnf parse_dimacs(std::string_view text) {
+  Cnf cnf;
+  std::size_t declared_vars = 0;
+  std::size_t declared_clauses = 0;
+  bool have_header = false;
+  std::vector<Lit> current;
+
+  std::istringstream in{std::string(text)};
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::string_view lv = trim(line);
+    if (lv.empty() || lv[0] == 'c') continue;
+    if (lv[0] == 'p') {
+      const auto parts = split(lv, " \t");
+      IC_CHECK(parts.size() == 4 && parts[1] == "cnf",
+               "bad DIMACS header: '" << line << "'");
+      try {
+        declared_vars = static_cast<std::size_t>(std::stoul(parts[2]));
+        declared_clauses = static_cast<std::size_t>(std::stoul(parts[3]));
+      } catch (const std::exception&) {
+        input_error("bad DIMACS header counts: '" + line + "'");
+      }
+      have_header = true;
+      continue;
+    }
+    for (const auto& tok : split(lv, " \t")) {
+      long v = 0;
+      try {
+        v = std::stol(tok);
+      } catch (const std::exception&) {
+        input_error("bad DIMACS literal '" + tok + "'");
+      }
+      if (v == 0) {
+        cnf.add_clause(current);
+        current.clear();
+      } else {
+        const Var var = static_cast<Var>(std::labs(v) - 1);
+        current.emplace_back(var, v < 0);
+      }
+    }
+  }
+  IC_CHECK(current.empty(), "DIMACS clause missing terminating 0");
+  IC_CHECK(have_header, "DIMACS input has no 'p cnf' header");
+  cnf.num_vars = std::max(cnf.num_vars, declared_vars);
+  IC_CHECK(cnf.clauses.size() == declared_clauses,
+           "DIMACS header declares " << declared_clauses << " clauses, found "
+                                     << cnf.clauses.size());
+  return cnf;
+}
+
+std::string write_dimacs(const Cnf& cnf) {
+  std::ostringstream os;
+  os << "p cnf " << cnf.num_vars << ' ' << cnf.clauses.size() << '\n';
+  for (const auto& clause : cnf.clauses) {
+    for (Lit l : clause) os << l.dimacs() << ' ';
+    os << "0\n";
+  }
+  return os.str();
+}
+
+bool cnf_satisfied(const Cnf& cnf, const std::vector<bool>& assignment) {
+  IC_ASSERT(assignment.size() >= cnf.num_vars);
+  for (const auto& clause : cnf.clauses) {
+    bool sat = false;
+    for (Lit l : clause) {
+      if (assignment[static_cast<std::size_t>(l.var())] != l.negated()) {
+        sat = true;
+        break;
+      }
+    }
+    if (!sat) return false;
+  }
+  return true;
+}
+
+}  // namespace ic::sat

@@ -1,0 +1,544 @@
+#include "ic/sat/solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ic::sat {
+
+Solver::Solver(SolverConfig config) : config_(config) {}
+
+Var Solver::new_var() {
+  const Var v = next_var_++;
+  assigns_.push_back(LBool::Undef);
+  polarity_.push_back(false);
+  level_.push_back(0);
+  reason_.push_back(kNoReason);
+  activity_.push_back(0.0);
+  watches_.emplace_back();
+  watches_.emplace_back();
+  heap_pos_.push_back(-1);
+  seen_.push_back(false);
+  heap_insert(v);
+  return v;
+}
+
+// ---------------------------------------------------------------- clauses --
+
+Solver::ClauseRef Solver::alloc_clause(std::vector<Lit> lits, bool learnt) {
+  auto c = std::make_unique<Clause>();
+  c->lits = std::move(lits);
+  c->learnt = learnt;
+  c->activity = 0.0;
+  clauses_.push_back(std::move(c));
+  return static_cast<ClauseRef>(clauses_.size() - 1);
+}
+
+void Solver::attach_clause(ClauseRef ref) {
+  Clause& c = clause(ref);
+  IC_ASSERT(c.size() >= 2);
+  watches_[static_cast<std::size_t>(c[0].code())].push_back(ref);
+  watches_[static_cast<std::size_t>(c[1].code())].push_back(ref);
+}
+
+void Solver::detach_clause(ClauseRef ref) {
+  Clause& c = clause(ref);
+  for (int i = 0; i < 2; ++i) {
+    auto& ws = watches_[static_cast<std::size_t>(c[static_cast<std::size_t>(i)].code())];
+    ws.erase(std::remove(ws.begin(), ws.end(), ref), ws.end());
+  }
+}
+
+bool Solver::add_clause(std::vector<Lit> lits) {
+  IC_ASSERT_MSG(decision_level() == 0, "add_clause outside of level 0");
+  if (!ok_) return false;
+  ++stats_.clauses_added;
+
+  // Level-0 simplification: drop false/duplicate literals; detect tautology
+  // and already-satisfied clauses.
+  std::sort(lits.begin(), lits.end());
+  std::vector<Lit> out;
+  Lit prev = Lit::from_code(-2);
+  for (Lit l : lits) {
+    IC_ASSERT_MSG(l.var() < next_var_, "literal references unknown variable");
+    if (value(l) == LBool::True || l == ~prev) return true;  // satisfied/tautology
+    if (value(l) == LBool::False || l == prev) continue;     // false/duplicate
+    out.push_back(l);
+    prev = l;
+  }
+
+  if (out.empty()) {
+    ok_ = false;
+    return false;
+  }
+  if (out.size() == 1) {
+    enqueue(out[0], kNoReason);
+    if (propagate() != kNoReason) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+  const ClauseRef ref = alloc_clause(std::move(out), /*learnt=*/false);
+  attach_clause(ref);
+  ++num_problem_clauses_;
+  return true;
+}
+
+// ------------------------------------------------------------ propagation --
+
+void Solver::enqueue(Lit l, ClauseRef reason) {
+  IC_ASSERT(value(l) == LBool::Undef);
+  const auto v = static_cast<std::size_t>(l.var());
+  assigns_[v] = lbool_from(!l.negated());
+  level_[v] = decision_level();
+  reason_[v] = reason;
+  polarity_[v] = !l.negated();
+  trail_.push_back(l);
+}
+
+Solver::ClauseRef Solver::propagate() {
+  while (qhead_ < trail_.size()) {
+    const Lit p = trail_[qhead_++];
+    ++stats_.propagations;
+    const Lit false_lit = ~p;
+    auto& ws = watches_[static_cast<std::size_t>(false_lit.code())];
+
+    std::size_t keep = 0;
+    for (std::size_t wi = 0; wi < ws.size(); ++wi) {
+      const ClauseRef ref = ws[wi];
+      Clause& c = clause(ref);
+
+      // Normalize: the false literal sits at position 1.
+      if (c[0] == false_lit) std::swap(c.lits[0], c.lits[1]);
+      IC_ASSERT(c[1] == false_lit);
+
+      if (value(c[0]) == LBool::True) {
+        ws[keep++] = ref;  // clause satisfied by the other watch
+        continue;
+      }
+
+      // Look for a replacement watch.
+      bool moved = false;
+      for (std::size_t k = 2; k < c.size(); ++k) {
+        if (value(c[k]) != LBool::False) {
+          std::swap(c.lits[1], c.lits[k]);
+          watches_[static_cast<std::size_t>(c[1].code())].push_back(ref);
+          moved = true;
+          break;
+        }
+      }
+      if (moved) continue;
+
+      // Clause is unit or conflicting under the current assignment.
+      ws[keep++] = ref;
+      if (value(c[0]) == LBool::False) {
+        // Conflict: restore the remainder of the watch list and bail out.
+        for (std::size_t wj = wi + 1; wj < ws.size(); ++wj) ws[keep++] = ws[wj];
+        ws.resize(keep);
+        qhead_ = trail_.size();
+        return ref;
+      }
+      enqueue(c[0], ref);
+    }
+    ws.resize(keep);
+  }
+  return kNoReason;
+}
+
+void Solver::cancel_until(int target_level) {
+  if (decision_level() <= target_level) return;
+  const std::size_t bound = trail_lim_[static_cast<std::size_t>(target_level)];
+  for (std::size_t i = trail_.size(); i-- > bound;) {
+    const auto v = static_cast<std::size_t>(trail_[i].var());
+    assigns_[v] = LBool::Undef;
+    reason_[v] = kNoReason;
+    if (heap_pos_[v] < 0) heap_insert(static_cast<Var>(v));
+  }
+  trail_.resize(bound);
+  trail_lim_.resize(static_cast<std::size_t>(target_level));
+  qhead_ = trail_.size();
+}
+
+// ------------------------------------------------------ conflict analysis --
+
+void Solver::bump_var(Var v) {
+  activity_[static_cast<std::size_t>(v)] += var_inc_;
+  if (activity_[static_cast<std::size_t>(v)] > 1e100) {
+    for (double& a : activity_) a *= 1e-100;
+    var_inc_ *= 1e-100;
+  }
+  if (heap_pos_[static_cast<std::size_t>(v)] >= 0) heap_update(v);
+}
+
+void Solver::bump_clause(Clause& c) {
+  c.activity += clause_inc_;
+  if (c.activity > 1e20) {
+    for (auto& ptr : clauses_) {
+      if (ptr && ptr->learnt) ptr->activity *= 1e-20;
+    }
+    clause_inc_ *= 1e-20;
+  }
+}
+
+void Solver::analyze(ClauseRef conflict, std::vector<Lit>& out_learnt,
+                     int& out_level) {
+  out_learnt.clear();
+  out_learnt.push_back(Lit::from_code(-2));  // placeholder for the 1-UIP literal
+
+  int counter = 0;
+  Lit p = Lit::from_code(-2);
+  std::size_t index = trail_.size();
+  ClauseRef reason_ref = conflict;
+
+  do {
+    IC_ASSERT(reason_ref != kNoReason);
+    Clause& c = clause(reason_ref);
+    if (c.learnt) bump_clause(c);
+    const std::size_t start = (p.code() == -2) ? 0 : 1;
+    for (std::size_t i = start; i < c.size(); ++i) {
+      const Lit q = c[i];
+      const auto qv = static_cast<std::size_t>(q.var());
+      if (!seen_[qv] && level(q.var()) > 0) {
+        seen_[qv] = true;
+        bump_var(q.var());
+        if (level(q.var()) >= decision_level()) {
+          ++counter;
+        } else {
+          out_learnt.push_back(q);
+        }
+      }
+    }
+    // Walk back to the most recently assigned seen literal.
+    while (!seen_[static_cast<std::size_t>(trail_[index - 1].var())]) --index;
+    --index;
+    p = trail_[index];
+    reason_ref = reason_[static_cast<std::size_t>(p.var())];
+    seen_[static_cast<std::size_t>(p.var())] = false;
+    --counter;
+  } while (counter > 0);
+  out_learnt[0] = ~p;
+
+  // Simple clause minimization: drop literals whose reason clause is fully
+  // covered by the remaining learnt literals.
+  std::uint32_t abstract_levels = 0;
+  for (std::size_t i = 1; i < out_learnt.size(); ++i) {
+    abstract_levels |= 1u << (static_cast<std::uint32_t>(level(out_learnt[i].var())) & 31u);
+  }
+  const std::vector<Lit> pre_minimization(out_learnt.begin(), out_learnt.end());
+  std::size_t keep = 1;
+  for (std::size_t i = 1; i < out_learnt.size(); ++i) {
+    const Lit l = out_learnt[i];
+    if (reason_[static_cast<std::size_t>(l.var())] == kNoReason ||
+        !lit_redundant(l, abstract_levels)) {
+      out_learnt[keep++] = l;
+    }
+  }
+  out_learnt.resize(keep);
+  // Clear seen flags for every literal that participated, including the ones
+  // minimization just dropped.
+  for (const Lit l : pre_minimization) {
+    seen_[static_cast<std::size_t>(l.var())] = false;
+  }
+  stats_.learnt_literals += out_learnt.size();
+
+  // Backtrack level: the second-highest level in the learnt clause.
+  if (out_learnt.size() == 1) {
+    out_level = 0;
+  } else {
+    std::size_t max_i = 1;
+    for (std::size_t i = 2; i < out_learnt.size(); ++i) {
+      if (level(out_learnt[i].var()) > level(out_learnt[max_i].var())) max_i = i;
+    }
+    std::swap(out_learnt[1], out_learnt[max_i]);
+    out_level = level(out_learnt[1].var());
+  }
+
+}
+
+bool Solver::lit_redundant(Lit l, std::uint32_t abstract_levels) {
+  // Non-recursive single-step check: every literal of l's reason (other than
+  // l itself) must already be seen and at a level present in the clause.
+  const ClauseRef ref = reason_[static_cast<std::size_t>(l.var())];
+  if (ref == kNoReason) return false;
+  const Clause& c = clause(ref);
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    const Lit q = c[i];
+    if (q.var() == l.var()) continue;
+    if (level(q.var()) == 0) continue;
+    if (!seen_[static_cast<std::size_t>(q.var())]) return false;
+    if ((1u << (static_cast<std::uint32_t>(level(q.var())) & 31u) & abstract_levels) == 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// -------------------------------------------------------------- reduce DB --
+
+void Solver::reduce_db() {
+  std::vector<ClauseRef> learnts;
+  for (ClauseRef ref = 0; ref < clauses_.size(); ++ref) {
+    if (clauses_[ref] && clauses_[ref]->learnt && !clauses_[ref]->deleted) {
+      learnts.push_back(ref);
+    }
+  }
+  std::sort(learnts.begin(), learnts.end(), [&](ClauseRef a, ClauseRef b) {
+    return clause(a).activity < clause(b).activity;
+  });
+
+  auto locked = [&](ClauseRef ref) {
+    const Lit l = clause(ref)[0];
+    return value(l) == LBool::True &&
+           reason_[static_cast<std::size_t>(l.var())] == ref;
+  };
+
+  std::size_t removed = 0;
+  for (std::size_t i = 0; i < learnts.size() / 2; ++i) {
+    const ClauseRef ref = learnts[i];
+    if (clause(ref).size() <= 2 || locked(ref)) continue;
+    detach_clause(ref);
+    clauses_[ref]->deleted = true;
+    clauses_[ref].reset();
+    --num_learnt_clauses_;
+    ++removed;
+  }
+}
+
+// --------------------------------------------------------------- branching --
+
+void Solver::heap_insert(Var v) {
+  IC_ASSERT(heap_pos_[static_cast<std::size_t>(v)] < 0);
+  heap_.push_back(v);
+  heap_pos_[static_cast<std::size_t>(v)] = static_cast<int>(heap_.size() - 1);
+  heap_sift_up(heap_.size() - 1);
+}
+
+void Solver::heap_update(Var v) {
+  const int pos = heap_pos_[static_cast<std::size_t>(v)];
+  IC_ASSERT(pos >= 0);
+  heap_sift_up(static_cast<std::size_t>(pos));
+}
+
+Var Solver::heap_pop() {
+  IC_ASSERT(!heap_.empty());
+  const Var top = heap_[0];
+  heap_pos_[static_cast<std::size_t>(top)] = -1;
+  heap_[0] = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) {
+    heap_pos_[static_cast<std::size_t>(heap_[0])] = 0;
+    heap_sift_down(0);
+  }
+  return top;
+}
+
+void Solver::heap_sift_up(std::size_t i) {
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (activity_[static_cast<std::size_t>(heap_[i])] <=
+        activity_[static_cast<std::size_t>(heap_[parent])]) {
+      break;
+    }
+    std::swap(heap_[i], heap_[parent]);
+    heap_pos_[static_cast<std::size_t>(heap_[i])] = static_cast<int>(i);
+    heap_pos_[static_cast<std::size_t>(heap_[parent])] = static_cast<int>(parent);
+    i = parent;
+  }
+}
+
+void Solver::heap_sift_down(std::size_t i) {
+  for (;;) {
+    const std::size_t left = 2 * i + 1;
+    const std::size_t right = 2 * i + 2;
+    std::size_t best = i;
+    if (left < heap_.size() && activity_[static_cast<std::size_t>(heap_[left])] >
+                                   activity_[static_cast<std::size_t>(heap_[best])]) {
+      best = left;
+    }
+    if (right < heap_.size() && activity_[static_cast<std::size_t>(heap_[right])] >
+                                    activity_[static_cast<std::size_t>(heap_[best])]) {
+      best = right;
+    }
+    if (best == i) break;
+    std::swap(heap_[i], heap_[best]);
+    heap_pos_[static_cast<std::size_t>(heap_[i])] = static_cast<int>(i);
+    heap_pos_[static_cast<std::size_t>(heap_[best])] = static_cast<int>(best);
+    i = best;
+  }
+}
+
+Lit Solver::pick_branch_lit() {
+  while (!heap_.empty()) {
+    const Var v = heap_pop();
+    if (value(v) == LBool::Undef) {
+      return Lit(v, !polarity_[static_cast<std::size_t>(v)]);
+    }
+  }
+  return Lit::from_code(-2);
+}
+
+std::uint64_t Solver::luby(std::uint64_t x) {
+  // Luby sequence: 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ...
+  std::uint64_t size = 1;
+  std::uint64_t seq = 0;
+  while (size < x + 1) {
+    ++seq;
+    size = 2 * size + 1;
+  }
+  while (size - 1 != x) {
+    size = (size - 1) >> 1;
+    --seq;
+    x %= size;
+  }
+  return std::uint64_t{1} << seq;
+}
+
+// ------------------------------------------------------------------ solve --
+
+void Solver::simplify() {
+  IC_ASSERT(decision_level() == 0);
+  if (simplify_trail_size_ == trail_.size()) return;
+
+  for (ClauseRef ref = 0; ref < clauses_.size(); ++ref) {
+    if (!clauses_[ref] || clauses_[ref]->deleted) continue;
+    Clause& c = *clauses_[ref];
+    bool satisfied = false;
+    for (Lit l : c.lits) {
+      if (value(l) == LBool::True) {
+        satisfied = true;
+        break;
+      }
+    }
+    if (satisfied) {
+      detach_clause(ref);
+      c.deleted = true;
+      if (c.learnt) {
+        --num_learnt_clauses_;
+      } else {
+        --num_problem_clauses_;
+      }
+      clauses_[ref].reset();
+      continue;
+    }
+    // Strip root-false literals beyond the two watched positions (removing
+    // those would require re-watching; they cannot be root-false anyway,
+    // since propagation would have fired on such a clause).
+    if (c.size() > 2) {
+      std::size_t keep = 2;
+      for (std::size_t i = 2; i < c.size(); ++i) {
+        if (value(c[i]) != LBool::False) c.lits[keep++] = c.lits[i];
+      }
+      c.lits.resize(keep);
+    }
+  }
+  simplify_trail_size_ = trail_.size();
+}
+
+Result Solver::solve(const std::vector<Lit>& assumptions) {
+  if (!ok_) return Result::Unsat;
+  cancel_until(0);
+  if (propagate() != kNoReason) {
+    ok_ = false;
+    return Result::Unsat;
+  }
+  simplify();
+
+  const std::uint64_t conflict_budget = config_.max_conflicts;
+  const std::uint64_t start_conflicts = stats_.conflicts;
+  std::uint64_t restart_count = 0;
+  std::uint64_t conflicts_since_restart = 0;
+  std::uint64_t restart_limit = config_.restart_base * luby(restart_count);
+
+  std::vector<Lit> learnt;
+  for (;;) {
+    const ClauseRef conflict = propagate();
+    if (conflict != kNoReason) {
+      ++stats_.conflicts;
+      ++conflicts_since_restart;
+      if (decision_level() == 0) {
+        ok_ = false;
+        return Result::Unsat;
+      }
+      int bt_level = 0;
+      analyze(conflict, learnt, bt_level);
+      // Never backtrack past assumption decisions unless forced: if the
+      // backtrack level is inside the assumption prefix, the conflict clause
+      // will re-propagate there and either succeed or expose an unsatisfied
+      // assumption in the branching step.
+      cancel_until(bt_level);
+      if (learnt.size() == 1) {
+        enqueue(learnt[0], kNoReason);
+      } else {
+        const ClauseRef ref = alloc_clause(learnt, /*learnt=*/true);
+        attach_clause(ref);
+        ++num_learnt_clauses_;
+        bump_clause(clause(ref));
+        enqueue(learnt[0], ref);
+      }
+      decay_var_activity();
+      decay_clause_activity();
+
+      if (conflict_budget != 0 &&
+          stats_.conflicts - start_conflicts >= conflict_budget) {
+        cancel_until(0);
+        return Result::Unknown;
+      }
+      continue;
+    }
+
+    // No conflict.
+    if (conflicts_since_restart >= restart_limit) {
+      ++stats_.restarts;
+      ++restart_count;
+      conflicts_since_restart = 0;
+      restart_limit = config_.restart_base * luby(restart_count);
+      cancel_until(0);
+      continue;
+    }
+
+    if (num_learnt_clauses_ >
+        std::max(config_.db_base,
+                 static_cast<std::size_t>(config_.db_factor *
+                                          static_cast<double>(num_problem_clauses_)))) {
+      reduce_db();
+    }
+
+    // Place assumptions as the first decisions.
+    if (static_cast<std::size_t>(decision_level()) < assumptions.size()) {
+      const Lit p = assumptions[static_cast<std::size_t>(decision_level())];
+      if (value(p) == LBool::True) {
+        new_decision_level();  // dummy level keeps assumption indices aligned
+      } else if (value(p) == LBool::False) {
+        cancel_until(0);
+        return Result::Unsat;  // assumptions are inconsistent with the formula
+      } else {
+        new_decision_level();
+        enqueue(p, kNoReason);
+      }
+      continue;
+    }
+
+    const Lit next = pick_branch_lit();
+    if (next.code() == -2) {
+      // Full assignment: snapshot the model, then restore level 0 so the
+      // solver is immediately ready for more clauses or another solve.
+      model_ = assigns_;
+      cancel_until(0);
+      return Result::Sat;
+    }
+    ++stats_.decisions;
+    new_decision_level();
+    enqueue(next, kNoReason);
+  }
+}
+
+bool Solver::model_value(Var v) const {
+  IC_ASSERT(v >= 0 && v < next_var_);
+  IC_ASSERT_MSG(static_cast<std::size_t>(v) < model_.size(),
+                "model_value queried without a model");
+  const LBool b = model_[static_cast<std::size_t>(v)];
+  IC_ASSERT_MSG(b != LBool::Undef, "model_value queried without a model");
+  return b == LBool::True;
+}
+
+}  // namespace ic::sat

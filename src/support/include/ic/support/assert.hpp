@@ -1,0 +1,51 @@
+// Contract-checking macros used across the ICNet libraries.
+//
+// IC_ASSERT checks programming-error contracts (preconditions, invariants).
+// It is active in all build types: the cost is negligible next to SAT solving
+// and matrix math, and silent corruption in an EDA tool is far worse than an
+// abort. IC_CHECK reports *input* errors (malformed files, inconsistent user
+// arguments) by throwing std::runtime_error so callers can recover.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace ic {
+
+[[noreturn]] inline void contract_violation(const char* expr, const char* file,
+                                            int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "contract violation: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+
+[[noreturn]] inline void input_error(const std::string& msg) {
+  throw std::runtime_error(msg);
+}
+
+}  // namespace ic
+
+#define IC_ASSERT(cond)                                            \
+  do {                                                             \
+    if (!(cond)) ::ic::contract_violation(#cond, __FILE__, __LINE__, ""); \
+  } while (false)
+
+#define IC_ASSERT_MSG(cond, msg)                                   \
+  do {                                                             \
+    if (!(cond)) {                                                 \
+      std::ostringstream ic_os_;                                   \
+      ic_os_ << msg;                                               \
+      ::ic::contract_violation(#cond, __FILE__, __LINE__, ic_os_.str()); \
+    }                                                              \
+  } while (false)
+
+#define IC_CHECK(cond, msg)                                        \
+  do {                                                             \
+    if (!(cond)) {                                                 \
+      std::ostringstream ic_os_;                                   \
+      ic_os_ << msg;                                               \
+      ::ic::input_error(ic_os_.str());                             \
+    }                                                              \
+  } while (false)

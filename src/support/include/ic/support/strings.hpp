@@ -1,0 +1,29 @@
+// Small string helpers shared by the parsers and report writers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ic {
+
+/// Remove leading and trailing ASCII whitespace.
+std::string_view trim(std::string_view s);
+
+/// Split on any character in `delims`, dropping empty pieces.
+std::vector<std::string> split(std::string_view s, std::string_view delims);
+
+/// True if `s` begins with `prefix`.
+bool starts_with(std::string_view s, std::string_view prefix);
+
+/// Lower-case an ASCII string.
+std::string to_lower(std::string_view s);
+
+/// Upper-case an ASCII string.
+std::string to_upper(std::string_view s);
+
+/// Format a double the way the paper's tables do: fixed 4 decimals for small
+/// magnitudes, scientific (e.g. "2.1450e+25") for huge ones.
+std::string format_mse(double v);
+
+}  // namespace ic

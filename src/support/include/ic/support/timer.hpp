@@ -1,0 +1,27 @@
+// Wall-clock timing used by the attack harness and the benches.
+#pragma once
+
+#include <chrono>
+
+namespace ic {
+
+/// Monotonic stopwatch. Starts on construction; restart() rewinds.
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  void restart() { start_ = clock::now(); }
+
+  /// Elapsed seconds since construction or the last restart().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  double milliseconds() const { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace ic

@@ -1,0 +1,10 @@
+// Timer is header-only; this translation unit exists so icsupport has an
+// archive member even when only header utilities are used.
+#include "ic/support/timer.hpp"
+
+namespace ic {
+namespace {
+// Anchor symbol for the static library.
+[[maybe_unused]] const Timer anchor_timer{};
+}  // namespace
+}  // namespace ic

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "ic/attack/cec.hpp"
+#include "ic/attack/sat_attack.hpp"
+#include "ic/bdd/circuit_bdd.hpp"
+#include "ic/circuit/generator.hpp"
+#include "ic/circuit/library.hpp"
+#include "ic/circuit/simulator.hpp"
+#include "ic/circuit/verilog_io.hpp"
+#include "ic/locking/anti_sat.hpp"
+#include "ic/locking/apply_key.hpp"
+#include "ic/locking/lut_lock.hpp"
+#include "ic/locking/policy.hpp"
+#include "ic/locking/xor_lock.hpp"
+
+namespace ic::locking {
+namespace {
+
+using circuit::Netlist;
+
+TEST(ApplyKey, LutLockedCircuitRecoversOriginalFunction) {
+  const Netlist original = circuit::c499_like();
+  const auto sel = select_gates(original, 5, SelectionPolicy::Random, 3);
+  const auto locked = lut_lock(original, sel);
+  const Netlist unlocked = apply_key(locked.locked, locked.correct_key);
+  EXPECT_EQ(unlocked.num_keys(), 0u);
+  EXPECT_TRUE(bdd::equivalent(unlocked, {}, original, {}));
+}
+
+TEST(ApplyKey, XorLockedCircuitFoldsKeyGates) {
+  const Netlist original = circuit::c17();
+  const auto sel = select_gates(original, 3, SelectionPolicy::Random, 5);
+  const auto locked = xor_lock(original, sel);
+  const Netlist unlocked = apply_key(locked.locked, locked.correct_key);
+  EXPECT_EQ(unlocked.num_keys(), 0u);
+  EXPECT_TRUE(bdd::equivalent(unlocked, {}, original, {}));
+}
+
+TEST(ApplyKey, AntiSatBlockFoldsAway) {
+  circuit::GeneratorSpec spec;
+  spec.num_inputs = 10;
+  spec.num_outputs = 5;
+  spec.num_gates = 50;
+  spec.seed = 7;
+  const Netlist original = circuit::generate_circuit(spec, "akas");
+  const auto target = select_gates(original, 1, SelectionPolicy::Random, 9)[0];
+  const auto locked = anti_sat_lock(original, target, {5, 11});
+  const Netlist unlocked = apply_key(locked.locked, locked.correct_key);
+  EXPECT_TRUE(bdd::equivalent(unlocked, {}, original, {}));
+}
+
+TEST(ApplyKey, WrongKeyGivesFunctionallyWrongNetlist) {
+  const Netlist original = circuit::c17();
+  const auto sel = select_gates(original, 2, SelectionPolicy::Random, 13);
+  const auto locked = lut_lock(original, sel);
+  std::vector<bool> wrong(locked.correct_key.size());
+  for (std::size_t i = 0; i < wrong.size(); ++i) wrong[i] = !locked.correct_key[i];
+  const Netlist unlocked = apply_key(locked.locked, wrong);
+  EXPECT_FALSE(bdd::equivalent(unlocked, {}, original, {}));
+}
+
+TEST(ApplyKey, AttackRecoveredKeyExportsThroughVerilog) {
+  // The full workflow: attack -> apply key -> decompose LUTs -> write
+  // Verilog -> parse back -> still equivalent to the original.
+  const Netlist original = circuit::c499_like();
+  const auto sel = select_gates(original, 4, SelectionPolicy::Random, 17);
+  const auto locked = lut_lock(original, sel);
+  attack::NetlistOracle oracle(original);
+  const auto result = attack::sat_attack(locked.locked, oracle);
+  ASSERT_TRUE(result.success);
+
+  const Netlist resolved = apply_key(locked.locked, result.key);
+  const Netlist gates_only = lut_to_gates(resolved);
+  const Netlist reparsed = circuit::parse_verilog(circuit::write_verilog(gates_only));
+  EXPECT_TRUE(attack::check_equivalence(reparsed, {}, original, {}).equivalent);
+}
+
+TEST(LutToGates, MatchesLutSemanticsExhaustively) {
+  circuit::Netlist nl("l2g");
+  const auto a = nl.add_input("a");
+  const auto b = nl.add_input("b");
+  const auto c = nl.add_input("c");
+  // Arbitrary 3-input function 0xD2.
+  std::vector<bool> truth(8);
+  for (std::size_t i = 0; i < 8; ++i) truth[i] = (0xD2u >> i) & 1u;
+  nl.mark_output(nl.add_fixed_lut({a, b, c}, truth, "f"));
+  const circuit::Netlist gates = lut_to_gates(nl);
+  EXPECT_EQ(gates.kind_histogram()[static_cast<int>(circuit::GateKind::Lut)], 0u);
+  EXPECT_TRUE(bdd::equivalent(nl, {}, gates, {}));
+}
+
+TEST(LutToGates, ConstantLutsFold) {
+  circuit::Netlist nl("cl");
+  const auto a = nl.add_input("a");
+  const auto b = nl.add_input("b");
+  nl.mark_output(nl.add_fixed_lut({a, b}, {false, false, false, false}, "z"));
+  nl.mark_output(nl.add_fixed_lut({a, b}, {true, true, true, true}, "o"));
+  const circuit::Netlist gates = lut_to_gates(nl);
+  circuit::Simulator sim(gates);
+  for (unsigned p = 0; p < 4; ++p) {
+    const auto out = sim.eval({bool(p & 1), bool(p & 2)});
+    EXPECT_FALSE(out[0]);
+    EXPECT_TRUE(out[1]);
+  }
+}
+
+TEST(ApplyKey, RejectsWrongKeyLength) {
+  const Netlist original = circuit::c17();
+  const auto sel = select_gates(original, 1, SelectionPolicy::Random, 19);
+  const auto locked = lut_lock(original, sel);
+  EXPECT_THROW(apply_key(locked.locked, {true}), std::logic_error);
+  EXPECT_THROW(lut_to_gates(locked.locked), std::runtime_error);  // keys unresolved
+}
+
+}  // namespace
+}  // namespace ic::locking

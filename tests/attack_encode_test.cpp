@@ -1,0 +1,242 @@
+#include <gtest/gtest.h>
+
+#include "ic/attack/encode.hpp"
+#include "ic/circuit/generator.hpp"
+#include "ic/circuit/library.hpp"
+#include "ic/circuit/simulator.hpp"
+#include "ic/locking/lut_lock.hpp"
+#include "ic/locking/policy.hpp"
+#include "ic/support/rng.hpp"
+
+namespace ic::attack {
+namespace {
+
+using circuit::Netlist;
+using sat::Lit;
+using sat::Result;
+using sat::Solver;
+
+/// Assert that the CNF encoding of `nl` agrees with the simulator on
+/// `trials` random (input, key) patterns: fix sources with unit assumptions
+/// and check the forced output values.
+void check_encoding(const Netlist& nl, std::uint64_t seed, int trials) {
+  Solver solver;
+  const CircuitEncoding enc = encode_netlist(nl, solver);
+  circuit::Simulator sim(nl);
+  Rng rng(seed);
+  for (int t = 0; t < trials; ++t) {
+    std::vector<bool> inputs(nl.num_inputs());
+    std::vector<bool> keys(nl.num_keys());
+    for (std::size_t i = 0; i < inputs.size(); ++i) inputs[i] = rng.bernoulli(0.5);
+    for (std::size_t i = 0; i < keys.size(); ++i) keys[i] = rng.bernoulli(0.5);
+    std::vector<Lit> assumptions;
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+      assumptions.emplace_back(enc.input_vars[i], !inputs[i]);
+    }
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      assumptions.emplace_back(enc.key_vars[i], !keys[i]);
+    }
+    ASSERT_EQ(solver.solve(assumptions), Result::Sat) << "trial " << t;
+    const auto expected = sim.eval(inputs, keys);
+    for (std::size_t o = 0; o < expected.size(); ++o) {
+      EXPECT_EQ(solver.model_value(enc.output_vars[o]), expected[o])
+          << "trial " << t << " output " << o;
+    }
+  }
+}
+
+TEST(Encode, C17MatchesSimulatorExhaustively) {
+  const Netlist nl = circuit::c17();
+  Solver solver;
+  const CircuitEncoding enc = encode_netlist(nl, solver);
+  circuit::Simulator sim(nl);
+  for (std::uint64_t p = 0; p < 32; ++p) {
+    std::vector<bool> inputs(5);
+    std::vector<Lit> assumptions;
+    for (int b = 0; b < 5; ++b) {
+      inputs[static_cast<std::size_t>(b)] = (p >> b) & 1u;
+      assumptions.emplace_back(enc.input_vars[static_cast<std::size_t>(b)],
+                               !inputs[static_cast<std::size_t>(b)]);
+    }
+    ASSERT_EQ(solver.solve(assumptions), Result::Sat);
+    const auto expected = sim.eval(inputs);
+    for (std::size_t o = 0; o < expected.size(); ++o) {
+      EXPECT_EQ(solver.model_value(enc.output_vars[o]), expected[o]);
+    }
+  }
+}
+
+TEST(Encode, EveryGateKindCircuit) {
+  // A hand-built circuit exercising every encodable gate kind.
+  Netlist nl("zoo");
+  using circuit::GateKind;
+  const auto a = nl.add_input("a");
+  const auto b = nl.add_input("b");
+  const auto c = nl.add_input("c");
+  const auto g1 = nl.add_gate(GateKind::And, {a, b, c}, "g1");
+  const auto g2 = nl.add_gate(GateKind::Nand, {a, b}, "g2");
+  const auto g3 = nl.add_gate(GateKind::Or, {g1, g2}, "g3");
+  const auto g4 = nl.add_gate(GateKind::Nor, {g2, c}, "g4");
+  const auto g5 = nl.add_gate(GateKind::Xor, {g3, g4, a}, "g5");
+  const auto g6 = nl.add_gate(GateKind::Xnor, {g5, b}, "g6");
+  const auto g7 = nl.add_gate(GateKind::Not, {g6}, "g7");
+  const auto g8 = nl.add_gate(GateKind::Buf, {g7}, "g8");
+  const auto g9 = nl.add_fixed_lut({a, b, c}, circuit::gate_truth_table(GateKind::Or, 3), "g9");
+  nl.mark_output(g8);
+  nl.mark_output(g9);
+  check_encoding(nl, 11, 16);
+}
+
+TEST(Encode, KeyLutEncoding) {
+  const Netlist original = circuit::c17();
+  const auto sel = locking::select_gates(original, 3,
+                                         locking::SelectionPolicy::Random, 21);
+  const auto locked = locking::lut_lock(original, sel);
+  check_encoding(locked.locked, 22, 24);
+}
+
+class EncodeSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EncodeSweep, RandomCircuitsMatchSimulator) {
+  circuit::GeneratorSpec spec;
+  spec.num_inputs = 12;
+  spec.num_outputs = 6;
+  spec.num_gates = 80;
+  spec.seed = GetParam();
+  const Netlist nl = circuit::generate_circuit(spec, "enc");
+  check_encoding(nl, GetParam() * 31 + 7, 12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EncodeSweep, ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u));
+
+TEST(Encode, SharedInputsTieTwoCopiesTogether) {
+  const Netlist nl = circuit::c17();
+  Solver solver;
+  const CircuitEncoding enc1 = encode_netlist(nl, solver);
+  EncodeShared shared;
+  shared.inputs = enc1.input_vars;
+  const CircuitEncoding enc2 = encode_netlist(nl, solver, shared);
+  // Two copies of a deterministic circuit with shared inputs can never
+  // produce different outputs: the miter over them is UNSAT.
+  const sat::Var act = solver.new_var();
+  std::vector<Lit> any;
+  any.push_back(sat::neg(act));
+  for (std::size_t o = 0; o < enc1.output_vars.size(); ++o) {
+    const sat::Var d = solver.new_var();
+    solver.add_clause({sat::neg(d), sat::pos(enc1.output_vars[o]), sat::pos(enc2.output_vars[o])});
+    solver.add_clause({sat::neg(d), sat::neg(enc1.output_vars[o]), sat::neg(enc2.output_vars[o])});
+    solver.add_clause({sat::pos(d), sat::neg(enc1.output_vars[o]), sat::pos(enc2.output_vars[o])});
+    solver.add_clause({sat::pos(d), sat::pos(enc1.output_vars[o]), sat::neg(enc2.output_vars[o])});
+    any.push_back(sat::pos(d));
+  }
+  solver.add_clause(std::move(any));
+  EXPECT_EQ(solver.solve({sat::pos(act)}), Result::Unsat);
+  EXPECT_EQ(solver.solve({sat::neg(act)}), Result::Sat);
+}
+
+TEST(Encode, ShapeMismatchOnSharedVectorsRejected) {
+  const Netlist nl = circuit::c17();
+  Solver solver;
+  EncodeShared shared;
+  shared.inputs = std::vector<sat::Var>{0, 1};  // c17 has 5 inputs
+  EXPECT_THROW(encode_netlist(nl, solver, shared), std::logic_error);
+}
+
+}  // namespace
+}  // namespace ic::attack
+
+// ---- cone-of-influence reduction paths -------------------------------------
+
+namespace ic::attack {
+namespace {
+
+TEST(EncodeConeReduction, FixedValuesFoldToConstants) {
+  const Netlist nl = circuit::c17();
+  circuit::Simulator sim(nl);
+  Solver solver;
+  const sat::Var ct = solver.new_var();
+  const sat::Var cf = solver.new_var();
+  solver.add_clause({sat::pos(ct)});
+  solver.add_clause({sat::neg(cf)});
+
+  // Fix every gate to its simulated value for one pattern: the encoding
+  // then emits no real clauses and outputs are the right constants.
+  const std::vector<bool> in{true, false, true, true, false};
+  const auto values = sim.eval_all(in);
+  std::vector<sat::LBool> fixed(nl.size());
+  for (std::size_t g = 0; g < nl.size(); ++g) {
+    fixed[g] = sat::lbool_from(values[g]);
+  }
+  EncodeShared sh;
+  sh.fixed_values = &fixed;
+  sh.const_true = ct;
+  sh.const_false = cf;
+  const std::size_t clauses_before = solver.num_clauses();
+  const CircuitEncoding enc = encode_netlist(nl, solver, sh);
+  EXPECT_EQ(solver.num_clauses(), clauses_before);  // everything folded
+  ASSERT_EQ(solver.solve(), Result::Sat);
+  const auto expected = sim.eval(in);
+  for (std::size_t o = 0; o < expected.size(); ++o) {
+    EXPECT_EQ(solver.model_value(enc.output_vars[o]), expected[o]);
+  }
+}
+
+TEST(EncodeConeReduction, PartialFixingStillMatchesSimulator) {
+  // Fix only the primary inputs; the rest is encoded and must propagate to
+  // the simulated outputs.
+  const Netlist nl = circuit::c17();
+  circuit::Simulator sim(nl);
+  Rng rng(31);
+  for (int trial = 0; trial < 8; ++trial) {
+    Solver solver;
+    const sat::Var ct = solver.new_var();
+    const sat::Var cf = solver.new_var();
+    solver.add_clause({sat::pos(ct)});
+    solver.add_clause({sat::neg(cf)});
+    std::vector<bool> in(5);
+    for (auto&& b : in) b = rng.bernoulli(0.5);
+    std::vector<sat::LBool> fixed(nl.size(), sat::LBool::Undef);
+    for (std::size_t i = 0; i < 5; ++i) {
+      fixed[nl.primary_inputs()[i]] = sat::lbool_from(in[i]);
+    }
+    EncodeShared sh;
+    sh.fixed_values = &fixed;
+    sh.const_true = ct;
+    sh.const_false = cf;
+    const CircuitEncoding enc = encode_netlist(nl, solver, sh);
+    ASSERT_EQ(solver.solve(), Result::Sat);
+    const auto expected = sim.eval(in);
+    for (std::size_t o = 0; o < expected.size(); ++o) {
+      EXPECT_EQ(solver.model_value(enc.output_vars[o]), expected[o]) << trial;
+    }
+  }
+}
+
+TEST(EncodeConeReduction, ReuseMaskSharesVariables) {
+  const Netlist nl = circuit::c17();
+  Solver solver;
+  const CircuitEncoding enc1 = encode_netlist(nl, solver);
+  EncodeShared sh;
+  sh.inputs = enc1.input_vars;
+  std::vector<bool> reuse(nl.size(), true);
+  sh.reuse_gate_vars = &enc1.gate_vars;
+  sh.reuse_mask = &reuse;
+  const std::size_t vars_before = solver.num_vars();
+  const CircuitEncoding enc2 = encode_netlist(nl, solver, sh);
+  EXPECT_EQ(solver.num_vars(), vars_before);  // nothing new allocated
+  for (std::size_t g = 0; g < nl.size(); ++g) {
+    EXPECT_EQ(enc1.gate_vars[g], enc2.gate_vars[g]);
+  }
+}
+
+TEST(EncodeConeReduction, FixedValuesRequireConstVars) {
+  const Netlist nl = circuit::c17();
+  Solver solver;
+  std::vector<sat::LBool> fixed(nl.size(), sat::LBool::Undef);
+  EncodeShared sh;
+  sh.fixed_values = &fixed;  // const_true/false left unset
+  EXPECT_THROW(encode_netlist(nl, solver, sh), std::logic_error);
+}
+
+}  // namespace
+}  // namespace ic::attack

@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include "ic/attack/sat_attack.hpp"
+#include "ic/circuit/generator.hpp"
+#include "ic/circuit/library.hpp"
+#include "ic/locking/lut_lock.hpp"
+#include "ic/locking/policy.hpp"
+#include "ic/locking/xor_lock.hpp"
+
+namespace ic::attack {
+namespace {
+
+using circuit::Netlist;
+
+TEST(SatAttack, RecoversFunctionOfLutLockedC17) {
+  const Netlist original = circuit::c17();
+  const auto sel =
+      locking::select_gates(original, 2, locking::SelectionPolicy::Random, 3);
+  const auto locked = locking::lut_lock(original, sel);
+  NetlistOracle oracle(original);
+  const AttackResult r = sat_attack(locked.locked, oracle);
+  ASSERT_TRUE(r.success);
+  EXPECT_FALSE(r.hit_cap);
+  EXPECT_GT(r.iterations, 0u);
+  EXPECT_EQ(r.key.size(), locked.locked.num_keys());
+  EXPECT_EQ(verify_key(locked.locked, r.key, original), 0u);
+}
+
+TEST(SatAttack, RecoversFunctionOfXorLockedCircuit) {
+  circuit::GeneratorSpec spec;
+  spec.num_inputs = 10;
+  spec.num_outputs = 5;
+  spec.num_gates = 60;
+  spec.seed = 17;
+  const Netlist original = circuit::generate_circuit(spec, "xt");
+  const auto sel =
+      locking::select_gates(original, 8, locking::SelectionPolicy::Random, 5);
+  const auto locked = locking::xor_lock(original, sel);
+  NetlistOracle oracle(original);
+  const AttackResult r = sat_attack(locked.locked, oracle);
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(verify_key(locked.locked, r.key, original), 0u);
+}
+
+class AttackSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(AttackSweep, MoreLockedGatesNeverBreakCorrectness) {
+  circuit::GeneratorSpec spec;
+  spec.num_inputs = 12;
+  spec.num_outputs = 6;
+  spec.num_gates = 90;
+  spec.seed = 23;
+  const Netlist original = circuit::generate_circuit(spec, "sw");
+  const auto sel = locking::select_gates(
+      original, GetParam(), locking::SelectionPolicy::Random, GetParam());
+  const auto locked = locking::lut_lock(original, sel);
+  NetlistOracle oracle(original);
+  const AttackResult r = sat_attack(locked.locked, oracle);
+  ASSERT_TRUE(r.success) << GetParam() << " locked gates";
+  EXPECT_EQ(verify_key(locked.locked, r.key, original), 0u)
+      << GetParam() << " locked gates";
+}
+
+INSTANTIATE_TEST_SUITE_P(KeyCounts, AttackSweep, ::testing::Values(1u, 3u, 6u, 10u));
+
+TEST(SatAttack, ExtractedKeyMayDifferFromInsertedKeyButMustBeFunctional) {
+  // Multiple keys can be correct (unobservable truth-table rows); the attack
+  // promises functional equivalence, not bit equality.
+  const Netlist original = circuit::c17();
+  const auto sel =
+      locking::select_gates(original, 3, locking::SelectionPolicy::Random, 7);
+  const auto locked = locking::lut_lock(original, sel);
+  NetlistOracle oracle(original);
+  const AttackResult r = sat_attack(locked.locked, oracle);
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(verify_key(locked.locked, r.key, original), 0u);
+}
+
+TEST(SatAttack, IterationCapAborts) {
+  circuit::GeneratorSpec spec;
+  spec.num_inputs = 14;
+  spec.num_outputs = 7;
+  spec.num_gates = 100;
+  spec.seed = 31;
+  const Netlist original = circuit::generate_circuit(spec, "cap");
+  const auto sel =
+      locking::select_gates(original, 12, locking::SelectionPolicy::Random, 8);
+  const auto locked = locking::lut_lock(original, sel);
+  NetlistOracle oracle(original);
+  AttackOptions opt;
+  opt.max_iterations = 1;
+  const AttackResult r = sat_attack(locked.locked, oracle, opt);
+  if (!r.success) {
+    EXPECT_TRUE(r.hit_cap);
+    EXPECT_LE(r.iterations, 1u);
+  }
+}
+
+TEST(SatAttack, ConflictCapAborts) {
+  circuit::GeneratorSpec spec;
+  spec.num_inputs = 16;
+  spec.num_outputs = 8;
+  spec.num_gates = 150;
+  spec.seed = 37;
+  const Netlist original = circuit::generate_circuit(spec, "ccap");
+  const auto sel =
+      locking::select_gates(original, 20, locking::SelectionPolicy::Random, 9);
+  const auto locked = locking::lut_lock(original, sel);
+  NetlistOracle oracle(original);
+  AttackOptions opt;
+  opt.max_conflicts = 1;
+  const AttackResult r = sat_attack(locked.locked, oracle, opt);
+  // With a 1-conflict budget either the instance was trivial (no conflicts
+  // at all) or the cap fired.
+  if (!r.success) {
+    EXPECT_TRUE(r.hit_cap);
+  }
+}
+
+TEST(SatAttack, EffortCountersPopulated) {
+  const Netlist original = circuit::c499_like();
+  const auto sel =
+      locking::select_gates(original, 4, locking::SelectionPolicy::Random, 11);
+  const auto locked = locking::lut_lock(original, sel);
+  NetlistOracle oracle(original);
+  const AttackResult r = sat_attack(locked.locked, oracle);
+  ASSERT_TRUE(r.success);
+  EXPECT_GT(r.propagations, 0u);
+  EXPECT_GT(r.oracle_queries, 0u);
+  EXPECT_EQ(r.oracle_queries, r.iterations);
+  EXPECT_GT(r.estimated_seconds(), 0.0);
+  EXPECT_GE(r.wall_seconds, 0.0);
+}
+
+TEST(SatAttack, HarderInstancesCostMore) {
+  // The core premise of the paper: attack effort grows with the number of
+  // locked gates. Compare a 1-gate and a 12-gate instance on one circuit.
+  const Netlist original = circuit::c499_like();
+  NetlistOracle oracle(original);
+
+  const auto easy_sel =
+      locking::select_gates(original, 1, locking::SelectionPolicy::Random, 13);
+  const auto easy = locking::lut_lock(original, easy_sel);
+  const AttackResult easy_r = sat_attack(easy.locked, oracle);
+
+  const auto hard_sel =
+      locking::select_gates(original, 12, locking::SelectionPolicy::Random, 13);
+  const auto hard = locking::lut_lock(original, hard_sel);
+  const AttackResult hard_r = sat_attack(hard.locked, oracle);
+
+  ASSERT_TRUE(easy_r.success);
+  ASSERT_TRUE(hard_r.success);
+  EXPECT_GT(hard_r.estimated_seconds(), easy_r.estimated_seconds());
+}
+
+TEST(SatAttack, RequiresKeyInputs) {
+  const Netlist original = circuit::c17();
+  NetlistOracle oracle(original);
+  EXPECT_THROW(sat_attack(original, oracle), std::logic_error);
+}
+
+}  // namespace
+}  // namespace ic::attack

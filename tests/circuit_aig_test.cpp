@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "ic/bdd/circuit_bdd.hpp"
+#include "ic/circuit/aig.hpp"
+#include "ic/circuit/generator.hpp"
+#include "ic/circuit/library.hpp"
+#include "ic/circuit/simulator.hpp"
+#include "ic/locking/apply_key.hpp"
+#include "ic/locking/lut_lock.hpp"
+#include "ic/locking/policy.hpp"
+
+namespace ic::circuit {
+namespace {
+
+TEST(Aig, ConstantAndIdempotenceRules) {
+  Aig g;
+  const AigLit a = g.add_input();
+  const AigLit b = g.add_input();
+  EXPECT_EQ(g.land(a, Aig::constant(false)), Aig::constant(false));
+  EXPECT_EQ(g.land(a, Aig::constant(true)), a);
+  EXPECT_EQ(g.land(a, a), a);
+  EXPECT_EQ(g.land(a, g.lnot(a)), Aig::constant(false));
+  EXPECT_EQ(g.num_ands(), 0u);  // every rule above folded without a node
+  (void)b;
+}
+
+TEST(Aig, StructuralHashingMergesDuplicates) {
+  Aig g;
+  const AigLit a = g.add_input();
+  const AigLit b = g.add_input();
+  const AigLit x = g.land(a, b);
+  const AigLit y = g.land(b, a);  // commuted: must hash to the same node
+  EXPECT_EQ(x, y);
+  EXPECT_EQ(g.num_ands(), 1u);
+}
+
+TEST(Aig, EvalMatchesBooleanSemantics) {
+  Aig g;
+  const AigLit a = g.add_input();
+  const AigLit b = g.add_input();
+  const AigLit f = g.lxor(a, g.lor(b, g.lnot(a)));
+  for (unsigned p = 0; p < 4; ++p) {
+    const bool av = p & 1, bv = p & 2;
+    const bool expected = av != (bv || !av);
+    EXPECT_EQ(g.eval(f, {av, bv}), expected) << "pattern " << p;
+  }
+}
+
+TEST(AigCircuit, C17RoundTripIsEquivalent) {
+  const Netlist nl = c17();
+  const AigCircuit ac = AigCircuit::from_netlist(nl);
+  EXPECT_GT(ac.aig.num_ands(), 0u);
+  const Netlist back = ac.to_netlist("c17_aig");
+  ASSERT_EQ(back.num_inputs(), nl.num_inputs());
+  ASSERT_EQ(back.num_outputs(), nl.num_outputs());
+  EXPECT_TRUE(bdd::equivalent(nl, {}, back, {}));
+}
+
+TEST(AigCircuit, HashingDeduplicatesClonedLogic) {
+  // Two identical XOR cones: the AIG must build them once.
+  Netlist nl("dup");
+  const GateId a = nl.add_input("a");
+  const GateId b = nl.add_input("b");
+  const GateId x1 = nl.add_gate(GateKind::Xor, {a, b}, "x1");
+  const GateId x2 = nl.add_gate(GateKind::Xor, {a, b}, "x2");
+  nl.mark_output(nl.add_gate(GateKind::And, {x1, x2}, "y"));
+  const AigCircuit ac = AigCircuit::from_netlist(nl);
+  // One XOR = 3 ANDs; AND(x,x) folds to x, so the total stays 3.
+  EXPECT_EQ(ac.aig.num_ands(), 3u);
+}
+
+TEST(AigCircuit, LutsLowerCorrectly) {
+  Netlist nl("lut");
+  const GateId a = nl.add_input("a");
+  const GateId b = nl.add_input("b");
+  const GateId c = nl.add_input("c");
+  std::vector<bool> truth(8);
+  for (std::size_t i = 0; i < 8; ++i) truth[i] = (0x96u >> i) & 1u;  // parity
+  nl.mark_output(nl.add_fixed_lut({a, b, c}, truth, "f"));
+  const AigCircuit ac = AigCircuit::from_netlist(nl);
+  Simulator sim(nl);
+  for (unsigned p = 0; p < 8; ++p) {
+    const std::vector<bool> in{bool(p & 1), bool(p & 2), bool(p & 4)};
+    EXPECT_EQ(ac.aig.eval(ac.outputs[0], in), sim.eval(in)[0]) << p;
+  }
+}
+
+TEST(AigCircuit, RejectsKeyedNetlists) {
+  const Netlist original = c17();
+  const auto sel = locking::select_gates(original, 1,
+                                         locking::SelectionPolicy::Random, 3);
+  const auto locked = locking::lut_lock(original, sel);
+  EXPECT_THROW(AigCircuit::from_netlist(locked.locked), std::runtime_error);
+  // apply_key first, then it lowers fine and stays equivalent.
+  const Netlist unlocked = locking::apply_key(locked.locked, locked.correct_key);
+  const AigCircuit ac = AigCircuit::from_netlist(unlocked);
+  EXPECT_TRUE(bdd::equivalent(ac.to_netlist(), {}, original, {}));
+}
+
+class AigSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AigSweep, RandomCircuitsRoundTripEquivalently) {
+  GeneratorSpec spec;
+  spec.num_inputs = 10;
+  spec.num_outputs = 5;
+  spec.num_gates = 70;
+  spec.seed = GetParam();
+  const Netlist nl = generate_circuit(spec, "aigsweep");
+  const AigCircuit ac = AigCircuit::from_netlist(nl);
+  const Netlist back = ac.to_netlist("back");
+  EXPECT_TRUE(bdd::equivalent(nl, {}, back, {})) << "seed " << GetParam();
+  // The round-tripped netlist is pure AND/NOT/BUF (+ possible const XOR).
+  const auto hist = back.kind_histogram();
+  EXPECT_EQ(hist[static_cast<int>(GateKind::Nand)], 0u);
+  EXPECT_EQ(hist[static_cast<int>(GateKind::Or)], 0u);
+  EXPECT_EQ(hist[static_cast<int>(GateKind::Nor)], 0u);
+  EXPECT_EQ(hist[static_cast<int>(GateKind::Xnor)], 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AigSweep, ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+}  // namespace
+}  // namespace ic::circuit

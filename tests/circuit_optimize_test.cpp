@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "ic/bdd/circuit_bdd.hpp"
+#include "ic/circuit/generator.hpp"
+#include "ic/circuit/library.hpp"
+#include "ic/circuit/optimize.hpp"
+#include "ic/circuit/simulator.hpp"
+#include "ic/locking/lut_lock.hpp"
+#include "ic/locking/policy.hpp"
+
+namespace ic::circuit {
+namespace {
+
+TEST(Optimize, ElidesBufferChains) {
+  Netlist nl("bufs");
+  const GateId a = nl.add_input("a");
+  const GateId b = nl.add_input("b");
+  GateId cur = nl.add_gate(GateKind::And, {a, b}, "g");
+  for (int i = 0; i < 4; ++i) {
+    cur = nl.add_gate(GateKind::Buf, {cur}, "buf" + std::to_string(i));
+  }
+  nl.mark_output(cur);
+  const OptimizeResult r = optimize(nl);
+  EXPECT_EQ(r.stats.buffers_elided, 4u);
+  EXPECT_EQ(r.netlist.num_logic_gates(), 1u);
+  EXPECT_TRUE(bdd::equivalent(nl, {}, r.netlist, {}));
+}
+
+TEST(Optimize, CollapsesDoubleInverters) {
+  Netlist nl("nn");
+  const GateId a = nl.add_input("a");
+  const GateId n1 = nl.add_gate(GateKind::Not, {a}, "n1");
+  const GateId n2 = nl.add_gate(GateKind::Not, {n1}, "n2");
+  const GateId n3 = nl.add_gate(GateKind::Not, {n2}, "n3");
+  nl.mark_output(n3);
+  const OptimizeResult r = optimize(nl);
+  EXPECT_GE(r.stats.inverter_pairs, 1u);
+  // n3 == NOT(a): exactly one inverter survives.
+  EXPECT_EQ(r.netlist.num_logic_gates(), 1u);
+  EXPECT_TRUE(bdd::equivalent(nl, {}, r.netlist, {}));
+}
+
+TEST(Optimize, SweepsDeadLogic) {
+  Netlist nl("dead");
+  const GateId a = nl.add_input("a");
+  const GateId b = nl.add_input("b");
+  const GateId live = nl.add_gate(GateKind::And, {a, b}, "live");
+  nl.add_gate(GateKind::Or, {a, b}, "dead1");
+  nl.add_gate(GateKind::Xor, {a, b}, "dead2");
+  nl.mark_output(live);
+  const OptimizeResult r = optimize(nl);
+  EXPECT_EQ(r.stats.dead_removed, 2u);
+  EXPECT_EQ(r.netlist.num_logic_gates(), 1u);
+  EXPECT_EQ(r.remap[nl.find("dead1")], kNoGate);
+  EXPECT_NE(r.remap[live], kNoGate);
+}
+
+TEST(Optimize, DedupsAndFanins) {
+  Netlist nl("dup");
+  const GateId a = nl.add_input("a");
+  const GateId b = nl.add_input("b");
+  const GateId g = nl.add_gate(GateKind::And, {a, b}, "g");
+  nl.rewire_fanin(g, b, a);  // AND(a, a) == a
+  nl.mark_output(g);
+  const OptimizeResult r = optimize(nl);
+  EXPECT_GE(r.stats.fanins_deduped, 1u);
+  // AND(a,a) -> BUF(a) -> elided to the input.
+  EXPECT_EQ(r.netlist.num_logic_gates(), 0u);
+  EXPECT_TRUE(bdd::equivalent(nl, {}, r.netlist, {}));
+}
+
+TEST(Optimize, XorPairCancellation) {
+  Netlist nl("xorpair");
+  const GateId a = nl.add_input("a");
+  const GateId b = nl.add_input("b");
+  const GateId c = nl.add_input("c");
+  const GateId g = nl.add_gate(GateKind::Xor, {a, b, c}, "g");
+  nl.rewire_fanin(g, b, a);  // XOR(a, a, c) == c
+  nl.mark_output(g);
+  const OptimizeResult r = optimize(nl);
+  EXPECT_EQ(r.netlist.num_logic_gates(), 0u);  // collapses onto input c
+  EXPECT_TRUE(bdd::equivalent(nl, {}, r.netlist, {}));
+}
+
+TEST(Optimize, NandWithOneSurvivorBecomesInverter) {
+  Netlist nl("nand1");
+  const GateId a = nl.add_input("a");
+  const GateId b = nl.add_input("b");
+  const GateId g = nl.add_gate(GateKind::Nand, {a, b}, "g");
+  nl.rewire_fanin(g, b, a);  // NAND(a, a) == NOT a
+  nl.mark_output(g);
+  const OptimizeResult r = optimize(nl);
+  EXPECT_EQ(r.netlist.num_logic_gates(), 1u);
+  EXPECT_EQ(r.netlist.gate(r.remap[g]).kind, GateKind::Not);
+  EXPECT_TRUE(bdd::equivalent(nl, {}, r.netlist, {}));
+}
+
+TEST(Optimize, PreservesKeyLutsAndKeyVector) {
+  const Netlist original = c17();
+  const auto sel = locking::select_gates(original, 2,
+                                         locking::SelectionPolicy::Random, 3);
+  const auto locked = locking::lut_lock(original, sel);
+  const OptimizeResult r = optimize(locked.locked);
+  EXPECT_EQ(r.netlist.num_keys(), locked.locked.num_keys());
+  EXPECT_EQ(count_output_mismatches(r.netlist, locked.correct_key,
+                                    original, {}, 16, 9),
+            0u);
+}
+
+TEST(Optimize, IsIdempotent) {
+  GeneratorSpec spec;
+  spec.num_inputs = 12;
+  spec.num_outputs = 6;
+  spec.num_gates = 80;
+  spec.seed = 31;
+  const Netlist nl = generate_circuit(spec, "idem");
+  const OptimizeResult first = optimize(nl);
+  const OptimizeResult second = optimize(first.netlist);
+  EXPECT_EQ(second.netlist.size(), first.netlist.size());
+  EXPECT_EQ(second.stats.buffers_elided, 0u);
+  EXPECT_EQ(second.stats.dead_removed, 0u);
+}
+
+class OptimizeSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OptimizeSweep, EquivalentOnRandomCircuits) {
+  GeneratorSpec spec;
+  spec.num_inputs = 10;
+  spec.num_outputs = 5;
+  spec.num_gates = 60;
+  spec.seed = GetParam();
+  const Netlist nl = generate_circuit(spec, "osweep");
+  const OptimizeResult r = optimize(nl);
+  EXPECT_LE(r.netlist.size(), nl.size());
+  ASSERT_EQ(r.netlist.num_outputs(), nl.num_outputs());
+  EXPECT_TRUE(bdd::equivalent(nl, {}, r.netlist, {})) << "seed " << GetParam();
+  EXPECT_NO_THROW(r.netlist.validate());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OptimizeSweep,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+}  // namespace
+}  // namespace ic::circuit

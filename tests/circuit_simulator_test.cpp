@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include "ic/circuit/library.hpp"
+#include "ic/circuit/simulator.hpp"
+#include "ic/support/rng.hpp"
+
+namespace ic::circuit {
+namespace {
+
+TEST(Simulator, C17KnownVectors) {
+  const Netlist nl = c17();
+  Simulator sim(nl);
+  // c17: out22 = NAND(10,16), out23 = NAND(16,19) with
+  // 10=NAND(1,3), 11=NAND(3,6), 16=NAND(2,11), 19=NAND(11,7).
+  // Inputs in order (1,2,3,6,7).
+  // All-zeros: 10=1, 11=1, 16=1, 19=1 -> 22=NAND(1,1)=0, 23=0.
+  auto out = sim.eval({false, false, false, false, false});
+  EXPECT_FALSE(out[0]);
+  EXPECT_FALSE(out[1]);
+  // All-ones: 10=0, 11=0, 16=1, 19=1 -> 22=NAND(0,1)=1, 23=NAND(1,1)=0.
+  out = sim.eval({true, true, true, true, true});
+  EXPECT_TRUE(out[0]);
+  EXPECT_FALSE(out[1]);
+}
+
+TEST(Simulator, ExhaustiveScalarVsWordOnC17) {
+  const Netlist nl = c17();
+  Simulator sim(nl);
+  // All 32 patterns packed into one word per input.
+  std::vector<std::uint64_t> win(5, 0);
+  for (std::uint64_t p = 0; p < 32; ++p) {
+    for (int b = 0; b < 5; ++b) {
+      if ((p >> b) & 1u) win[static_cast<std::size_t>(b)] |= std::uint64_t{1} << p;
+    }
+  }
+  const auto wout = sim.eval_words(win);
+  for (std::uint64_t p = 0; p < 32; ++p) {
+    std::vector<bool> in(5);
+    for (int b = 0; b < 5; ++b) in[static_cast<std::size_t>(b)] = (p >> b) & 1u;
+    const auto sout = sim.eval(in);
+    for (std::size_t o = 0; o < sout.size(); ++o) {
+      EXPECT_EQ(sout[o], bool((wout[o] >> p) & 1u)) << "pattern " << p;
+    }
+  }
+}
+
+TEST(Simulator, FixedLutImplementsItsTruthTable) {
+  Netlist nl;
+  const GateId a = nl.add_input("a");
+  const GateId b = nl.add_input("b");
+  const GateId c = nl.add_input("c");
+  // 3-input majority: truth bit set where popcount(address) >= 2.
+  std::vector<bool> truth(8);
+  for (std::size_t addr = 0; addr < 8; ++addr) {
+    truth[addr] = __builtin_popcountll(addr) >= 2;
+  }
+  nl.mark_output(nl.add_fixed_lut({a, b, c}, truth, "maj"));
+  Simulator sim(nl);
+  for (std::size_t p = 0; p < 8; ++p) {
+    const std::vector<bool> in{bool(p & 1), bool(p & 2), bool(p & 4)};
+    EXPECT_EQ(sim.eval(in)[0], truth[p]) << "pattern " << p;
+  }
+}
+
+TEST(Simulator, KeyLutReadsKeyBitsAsTruthTable) {
+  Netlist nl;
+  const GateId a = nl.add_input("a");
+  const GateId b = nl.add_input("b");
+  for (int i = 0; i < 4; ++i) nl.add_key_input("keyinput" + std::to_string(i));
+  nl.mark_output(nl.add_key_lut({a, b}, 0, "klut"));
+  Simulator sim(nl);
+  // Program an OR gate: truth 1110 read LSB-first = {0,1,1,1}.
+  const std::vector<bool> key{false, true, true, true};
+  EXPECT_FALSE(sim.eval({false, false}, key)[0]);
+  EXPECT_TRUE(sim.eval({true, false}, key)[0]);
+  EXPECT_TRUE(sim.eval({false, true}, key)[0]);
+  EXPECT_TRUE(sim.eval({true, true}, key)[0]);
+}
+
+TEST(Simulator, KeyLutWordEvalMatchesScalar) {
+  Netlist nl;
+  const GateId a = nl.add_input("a");
+  const GateId b = nl.add_input("b");
+  const GateId c = nl.add_input("c");
+  for (int i = 0; i < 8; ++i) nl.add_key_input("keyinput" + std::to_string(i));
+  nl.mark_output(nl.add_key_lut({a, b, c}, 0, "klut3"));
+  Simulator sim(nl);
+
+  Rng rng(5);
+  std::vector<bool> key(8);
+  for (std::size_t i = 0; i < 8; ++i) key[i] = rng.bernoulli(0.5);
+  std::vector<std::uint64_t> wkey(8);
+  for (std::size_t i = 0; i < 8; ++i) wkey[i] = key[i] ? ~std::uint64_t{0} : 0;
+
+  std::vector<std::uint64_t> win(3, 0);
+  for (std::uint64_t p = 0; p < 8; ++p) {
+    for (int bbit = 0; bbit < 3; ++bbit) {
+      if ((p >> bbit) & 1u) {
+        win[static_cast<std::size_t>(bbit)] |= std::uint64_t{1} << p;
+      }
+    }
+  }
+  const auto wout = sim.eval_words(win, wkey);
+  for (std::uint64_t p = 0; p < 8; ++p) {
+    const std::vector<bool> in{bool(p & 1), bool(p & 2), bool(p & 4)};
+    EXPECT_EQ(sim.eval(in, key)[0], bool((wout[0] >> p) & 1u)) << "pattern " << p;
+  }
+}
+
+class LibraryCircuits : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(LibraryCircuits, ScalarAndWordSimulationAgreeOnRandomPatterns) {
+  const Netlist nl = circuit_by_name(GetParam());
+  // A circuit always agrees with itself; this exercises both code paths via
+  // count_output_mismatches (word) against pointwise eval (scalar).
+  Simulator sim(nl);
+  Rng rng(77);
+  for (int trial = 0; trial < 4; ++trial) {
+    std::vector<bool> in(nl.num_inputs());
+    for (std::size_t i = 0; i < in.size(); ++i) in[i] = rng.bernoulli(0.5);
+    std::vector<std::uint64_t> win(in.size());
+    for (std::size_t i = 0; i < in.size(); ++i) win[i] = in[i] ? ~std::uint64_t{0} : 0;
+    const auto sout = sim.eval(in);
+    const auto wout = sim.eval_words(win);
+    for (std::size_t o = 0; o < sout.size(); ++o) {
+      EXPECT_EQ(sout[o], wout[o] == ~std::uint64_t{0}) << GetParam() << " out " << o;
+      EXPECT_TRUE(wout[o] == 0 || wout[o] == ~std::uint64_t{0});
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(All, LibraryCircuits,
+                         ::testing::Values("c17", "c499", "c1355"),
+                         [](const auto& info) { return info.param; });
+
+TEST(Simulator, ShapeContractsEnforced) {
+  const Netlist nl = c17();
+  Simulator sim(nl);
+  EXPECT_THROW(sim.eval({true, false}), std::logic_error);          // too few inputs
+  EXPECT_THROW(sim.eval({0, 0, 0, 0, 0}, {true}), std::logic_error);  // spurious key
+}
+
+TEST(CountMismatches, DetectsFunctionalDifference) {
+  Netlist a;
+  const GateId x = a.add_input("x");
+  const GateId y = a.add_input("y");
+  a.mark_output(a.add_gate(GateKind::And, {x, y}, "g"));
+  Netlist b;
+  const GateId x2 = b.add_input("x");
+  const GateId y2 = b.add_input("y");
+  b.mark_output(b.add_gate(GateKind::Or, {x2, y2}, "g"));
+  EXPECT_EQ(count_output_mismatches(a, {}, a, {}, 16, 3), 0u);
+  EXPECT_GT(count_output_mismatches(a, {}, b, {}, 16, 3), 0u);
+}
+
+}  // namespace
+}  // namespace ic::circuit

@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "ic/circuit/generator.hpp"
+#include "ic/data/dataset_io.hpp"
+
+namespace ic::data {
+namespace {
+
+using circuit::Netlist;
+
+Netlist small_circuit(std::uint64_t seed = 3) {
+  circuit::GeneratorSpec spec;
+  spec.num_inputs = 8;
+  spec.num_outputs = 4;
+  spec.num_gates = 32;
+  spec.seed = seed;
+  return circuit::generate_circuit(spec, "io_test_" + std::to_string(seed));
+}
+
+DatasetOptions small_options() {
+  DatasetOptions opt;
+  opt.num_instances = 6;
+  opt.min_gates = 1;
+  opt.max_gates = 4;
+  opt.attack.max_conflicts = 10000;
+  opt.seed = 9;
+  return opt;
+}
+
+TEST(DatasetIo, RoundTripPreservesEverything) {
+  const Netlist nl = small_circuit();
+  const Dataset ds = generate_dataset(nl, small_options());
+  const std::string path = ::testing::TempDir() + "/ds_roundtrip.txt";
+  save_dataset(ds, path);
+  const Dataset loaded = load_dataset(nl, path);
+
+  ASSERT_EQ(loaded.instances.size(), ds.instances.size());
+  for (std::size_t i = 0; i < ds.instances.size(); ++i) {
+    EXPECT_EQ(loaded.instances[i].selection, ds.instances[i].selection);
+    EXPECT_DOUBLE_EQ(loaded.instances[i].runtime_seconds,
+                     ds.instances[i].runtime_seconds);
+    EXPECT_EQ(loaded.instances[i].attack.iterations,
+              ds.instances[i].attack.iterations);
+    EXPECT_EQ(loaded.instances[i].attack.conflicts,
+              ds.instances[i].attack.conflicts);
+    EXPECT_EQ(loaded.instances[i].attack.success, ds.instances[i].attack.success);
+  }
+  EXPECT_EQ(loaded.log_targets(), ds.log_targets());
+}
+
+TEST(DatasetIo, RejectsWrongCircuit) {
+  const Netlist nl = small_circuit();
+  const Dataset ds = generate_dataset(nl, small_options());
+  const std::string path = ::testing::TempDir() + "/ds_wrong.txt";
+  save_dataset(ds, path);
+  const Netlist other = small_circuit(4);  // same sizes, different name/seed
+  EXPECT_THROW(load_dataset(other, path), std::runtime_error);
+}
+
+TEST(DatasetIo, RejectsGarbageFile) {
+  const std::string path = ::testing::TempDir() + "/ds_garbage.txt";
+  {
+    std::ofstream out(path);
+    out << "not a dataset\n";
+  }
+  EXPECT_THROW(load_dataset(small_circuit(), path), std::runtime_error);
+  EXPECT_THROW(load_dataset(small_circuit(), "/nonexistent/ds.txt"),
+               std::runtime_error);
+}
+
+TEST(DatasetIo, LoadOrGenerateCachesAndReuses) {
+  const Netlist nl = small_circuit();
+  const std::string path = ::testing::TempDir() + "/ds_cache.txt";
+  std::filesystem::remove(path);
+
+  const Dataset first = load_or_generate(nl, small_options(), path);
+  ASSERT_TRUE(std::filesystem::exists(path));
+  const auto mtime = std::filesystem::last_write_time(path);
+
+  const Dataset second = load_or_generate(nl, small_options(), path);
+  EXPECT_EQ(std::filesystem::last_write_time(path), mtime);  // not regenerated
+  EXPECT_EQ(second.log_targets(), first.log_targets());
+}
+
+TEST(DatasetIo, LoadOrGenerateRegeneratesOnOptionMismatch) {
+  const Netlist nl = small_circuit();
+  const std::string path = ::testing::TempDir() + "/ds_stale.txt";
+  std::filesystem::remove(path);
+  (void)load_or_generate(nl, small_options(), path);
+
+  DatasetOptions bigger = small_options();
+  bigger.num_instances = 9;
+  const Dataset regen = load_or_generate(nl, bigger, path);
+  EXPECT_EQ(regen.instances.size(), 9u);
+}
+
+}  // namespace
+}  // namespace ic::data

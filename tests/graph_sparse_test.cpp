@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ic/graph/sparse.hpp"
+
+namespace ic::graph {
+namespace {
+
+SparseMatrix small() {
+  // [[1, 2, 0], [0, 0, 3], [4, 0, 5]]
+  return SparseMatrix::from_triplets(3, 3, {0, 0, 1, 2, 2}, {0, 1, 2, 0, 2},
+                                     {1, 2, 3, 4, 5});
+}
+
+TEST(Sparse, FromTripletsAndAt) {
+  const SparseMatrix m = small();
+  EXPECT_EQ(m.nnz(), 5u);
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 0), 0.0);
+  EXPECT_DOUBLE_EQ(m.at(2, 2), 5.0);
+}
+
+TEST(Sparse, DuplicateTripletsSum) {
+  const SparseMatrix m = SparseMatrix::from_triplets(2, 2, {0, 0, 1}, {1, 1, 0},
+                                                     {1.5, 2.5, 1.0});
+  EXPECT_EQ(m.nnz(), 2u);
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 4.0);
+}
+
+TEST(Sparse, ToDenseMatchesAt) {
+  const SparseMatrix m = small();
+  const Matrix d = m.to_dense();
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      EXPECT_DOUBLE_EQ(d(r, c), m.at(r, c));
+    }
+  }
+}
+
+TEST(Sparse, SpmmMatchesDenseProduct) {
+  Rng rng(3);
+  const SparseMatrix s = small();
+  const Matrix x = Matrix::random_normal(3, 4, 1.0, rng);
+  const Matrix sparse_prod = s.spmm(x);
+  const Matrix dense_prod = s.to_dense().matmul(x);
+  EXPECT_LT(Matrix::max_abs_diff(sparse_prod, dense_prod), 1e-12);
+}
+
+TEST(Sparse, SpmmTransposedMatchesDense) {
+  Rng rng(4);
+  const SparseMatrix s = small();
+  const Matrix x = Matrix::random_normal(3, 2, 1.0, rng);
+  const Matrix a = s.spmm_transposed(x);
+  const Matrix b = s.to_dense().transpose().matmul(x);
+  EXPECT_LT(Matrix::max_abs_diff(a, b), 1e-12);
+}
+
+TEST(Sparse, SpmvMatchesSpmm) {
+  const SparseMatrix s = small();
+  const std::vector<double> x{1.0, -1.0, 2.0};
+  const auto v = s.spmv(x);
+  const Matrix m = s.spmm(Matrix::column(x));
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_DOUBLE_EQ(v[i], m(i, 0));
+}
+
+TEST(Sparse, RowSums) {
+  const auto rs = small().row_sums();
+  EXPECT_DOUBLE_EQ(rs[0], 3.0);
+  EXPECT_DOUBLE_EQ(rs[1], 3.0);
+  EXPECT_DOUBLE_EQ(rs[2], 9.0);
+}
+
+TEST(Sparse, Identity) {
+  const SparseMatrix id = SparseMatrix::identity(4);
+  EXPECT_EQ(id.nnz(), 4u);
+  Rng rng(5);
+  const Matrix x = Matrix::random_normal(4, 3, 1.0, rng);
+  EXPECT_LT(Matrix::max_abs_diff(id.spmm(x), x), 1e-15);
+}
+
+TEST(Sparse, Symmetry) {
+  const SparseMatrix sym = SparseMatrix::from_triplets(
+      2, 2, {0, 1}, {1, 0}, {3.0, 3.0});
+  EXPECT_TRUE(sym.is_symmetric());
+  EXPECT_FALSE(small().is_symmetric());
+}
+
+TEST(Sparse, LambdaMaxOfKnownMatrix) {
+  // [[2, 1], [1, 2]] has eigenvalues {1, 3}.
+  const SparseMatrix m = SparseMatrix::from_triplets(2, 2, {0, 0, 1, 1},
+                                                     {0, 1, 0, 1},
+                                                     {2, 1, 1, 2});
+  EXPECT_NEAR(m.lambda_max(200), 3.0, 1e-6);
+}
+
+TEST(Sparse, LambdaMaxOfPathGraphLaplacian) {
+  // Path P3 normalized Laplacian has λ_max = 3/2... use the combinatorial
+  // Laplacian of P2: [[1,-1],[-1,1]] with λ_max = 2.
+  const SparseMatrix l = SparseMatrix::from_triplets(2, 2, {0, 0, 1, 1},
+                                                     {0, 1, 0, 1},
+                                                     {1, -1, -1, 1});
+  EXPECT_NEAR(l.lambda_max(200), 2.0, 1e-6);
+}
+
+TEST(Sparse, EmptyRowsAreFine) {
+  const SparseMatrix m =
+      SparseMatrix::from_triplets(3, 3, {2}, {0}, {7.0});
+  const auto v = m.spmv({1, 1, 1});
+  EXPECT_DOUBLE_EQ(v[0], 0.0);
+  EXPECT_DOUBLE_EQ(v[1], 0.0);
+  EXPECT_DOUBLE_EQ(v[2], 7.0);
+}
+
+}  // namespace
+}  // namespace ic::graph

@@ -1,0 +1,249 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "ic/circuit/generator.hpp"
+#include "ic/circuit/library.hpp"
+#include "ic/circuit/simulator.hpp"
+#include "ic/locking/lut_lock.hpp"
+#include "ic/locking/policy.hpp"
+#include "ic/locking/xor_lock.hpp"
+#include "ic/support/rng.hpp"
+
+namespace ic::locking {
+namespace {
+
+using circuit::GateId;
+using circuit::GateKind;
+using circuit::Netlist;
+
+TEST(Policy, LockableGatesExcludesSourcesAndKeyLuts) {
+  Netlist nl = circuit::c17();
+  auto lockable = lockable_gates(nl);
+  EXPECT_EQ(lockable.size(), 6u);  // 6 NANDs
+  // Lock one and recount.
+  for (int i = 0; i < 4; ++i) nl.add_key_input("keyinput" + std::to_string(i));
+  nl.replace_with_key_lut(lockable[0], 0);
+  EXPECT_EQ(lockable_gates(nl).size(), 5u);
+}
+
+class PolicySweep : public ::testing::TestWithParam<SelectionPolicy> {};
+
+TEST_P(PolicySweep, SelectsDistinctLockableGates) {
+  const Netlist nl = circuit::c499_like();
+  const auto sel = select_gates(nl, 20, GetParam(), 77);
+  EXPECT_EQ(sel.size(), 20u);
+  std::set<GateId> unique(sel.begin(), sel.end());
+  EXPECT_EQ(unique.size(), 20u);
+  const auto lockable = lockable_gates(nl);
+  for (GateId id : sel) {
+    EXPECT_TRUE(std::find(lockable.begin(), lockable.end(), id) != lockable.end());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(All, PolicySweep,
+                         ::testing::Values(SelectionPolicy::Random,
+                                           SelectionPolicy::FanoutWeighted,
+                                           SelectionPolicy::DepthWeighted),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case SelectionPolicy::Random: return "Random";
+                             case SelectionPolicy::FanoutWeighted: return "Fanout";
+                             case SelectionPolicy::DepthWeighted: return "Depth";
+                             case SelectionPolicy::FaultImpact: return "Fault";
+                           }
+                           return "?";
+                         });
+
+TEST(Policy, SelectionIsDeterministicPerSeed) {
+  const Netlist nl = circuit::c499_like();
+  EXPECT_EQ(select_gates(nl, 10, SelectionPolicy::Random, 5),
+            select_gates(nl, 10, SelectionPolicy::Random, 5));
+  EXPECT_NE(select_gates(nl, 10, SelectionPolicy::Random, 5),
+            select_gates(nl, 10, SelectionPolicy::Random, 6));
+}
+
+TEST(Policy, OverSelectionRejected) {
+  const Netlist nl = circuit::c17();
+  EXPECT_THROW(select_gates(nl, 7, SelectionPolicy::Random, 1),
+               std::runtime_error);
+}
+
+TEST(LutLock, CorrectKeyPreservesFunction) {
+  const Netlist original = circuit::c17();
+  const auto sel = select_gates(original, 3, SelectionPolicy::Random, 9);
+  const LutLockResult r = lut_lock(original, sel);
+  EXPECT_EQ(r.locked.num_keys(), r.correct_key.size());
+  EXPECT_EQ(r.locked_gates.size(), 3u);
+  EXPECT_EQ(circuit::count_output_mismatches(r.locked, r.correct_key, original,
+                                             {}, 32, 1),
+            0u);
+}
+
+TEST(LutLock, LutSizeFourMeansSixteenKeyBitsPerGate) {
+  const Netlist original = circuit::c499_like();
+  const auto sel = select_gates(original, 5, SelectionPolicy::Random, 2);
+  const LutLockResult r = lut_lock(original, sel);
+  // c499-like gates have 2..4 fanins; LUT-4 padding gives 16 key bits each
+  // when enough predecessors exist (they do in a 200-gate circuit).
+  EXPECT_EQ(r.locked.num_keys(), 5u * 16u);
+}
+
+TEST(LutLock, WrongKeyChangesFunctionWithHighProbability) {
+  const Netlist original = circuit::c499_like();
+  const auto sel = select_gates(original, 8, SelectionPolicy::Random, 3);
+  const LutLockResult r = lut_lock(original, sel);
+  // Flip every key bit: every LUT then computes the complement function.
+  std::vector<bool> wrong(r.correct_key.size());
+  for (std::size_t i = 0; i < wrong.size(); ++i) wrong[i] = !r.correct_key[i];
+  const std::size_t mismatches = circuit::count_output_mismatches(
+      r.locked, wrong, original, {}, 32, 2);
+  EXPECT_GT(mismatches, 0u);
+}
+
+class LutLockSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(LutLockSweep, FunctionPreservedAcrossLutSizes) {
+  const Netlist original = circuit::c499_like();
+  const auto sel = select_gates(original, 6, SelectionPolicy::Random, 4);
+  LutLockOptions opt;
+  opt.lut_size = GetParam();
+  const LutLockResult r = lut_lock(original, sel, opt);
+  EXPECT_EQ(circuit::count_output_mismatches(r.locked, r.correct_key, original,
+                                             {}, 16, 5),
+            0u);
+  EXPECT_NO_THROW(r.locked.validate());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LutLockSweep, ::testing::Values(2u, 3u, 4u, 5u, 6u));
+
+TEST(LutLock, GateIdsPreserved) {
+  const Netlist original = circuit::c17();
+  const auto sel = select_gates(original, 2, SelectionPolicy::Random, 6);
+  const LutLockResult r = lut_lock(original, sel);
+  for (GateId id : sel) {
+    EXPECT_EQ(r.locked.gate(id).name, original.gate(id).name);
+    EXPECT_EQ(r.locked.gate(id).kind, GateKind::Lut);
+  }
+}
+
+TEST(LutLock, DuplicateSelectionRejected) {
+  const Netlist original = circuit::c17();
+  const auto sel = select_gates(original, 1, SelectionPolicy::Random, 7);
+  std::vector<GateId> dup{sel[0], sel[0]};
+  EXPECT_THROW(lut_lock(original, dup), std::logic_error);
+}
+
+TEST(XorLock, CorrectKeyPreservesFunction) {
+  const Netlist original = circuit::c499_like();
+  const auto sel = select_gates(original, 12, SelectionPolicy::Random, 8);
+  const XorLockResult r = xor_lock(original, sel);
+  EXPECT_EQ(r.locked.num_keys(), 12u);
+  EXPECT_EQ(circuit::count_output_mismatches(r.locked, r.correct_key, original,
+                                             {}, 32, 9),
+            0u);
+}
+
+TEST(XorLock, FlippedKeyBitInvertsDownstream) {
+  const Netlist original = circuit::c17();
+  const auto sel = select_gates(original, 1, SelectionPolicy::Random, 10);
+  const XorLockResult r = xor_lock(original, sel);
+  auto wrong = r.correct_key;
+  wrong[0] = !wrong[0];
+  EXPECT_GT(circuit::count_output_mismatches(r.locked, wrong, original, {}, 32, 11),
+            0u);
+}
+
+TEST(XorLock, MixesXorAndXnorKeyGates) {
+  const Netlist original = circuit::c499_like();
+  const auto sel = select_gates(original, 30, SelectionPolicy::Random, 12);
+  XorLockOptions opt;
+  opt.seed = 13;
+  const XorLockResult r = xor_lock(original, sel, opt);
+  std::size_t xnor = 0;
+  for (GateId kg : r.key_gates) {
+    if (r.locked.gate(kg).kind == GateKind::Xnor) ++xnor;
+  }
+  EXPECT_GT(xnor, 0u);
+  EXPECT_LT(xnor, 30u);
+}
+
+TEST(XorLock, OutputGateLockingRedirectsOutput) {
+  Netlist nl("out");
+  const GateId a = nl.add_input("a");
+  const GateId b = nl.add_input("b");
+  const GateId g = nl.add_gate(GateKind::And, {a, b}, "g");
+  nl.mark_output(g);
+  const XorLockResult r = xor_lock(nl, {g});
+  EXPECT_EQ(circuit::count_output_mismatches(r.locked, r.correct_key, nl, {}, 8, 14),
+            0u);
+  // The primary output must now be the key gate, not the bare AND.
+  EXPECT_NE(r.locked.outputs()[0], g);
+}
+
+}  // namespace
+}  // namespace ic::locking
+
+namespace ic::locking {
+namespace {
+
+TEST(FaultImpact, OutputDrivingGateHasMaximalImpact) {
+  // y = NOT(g); g = AND(a,b). Flipping g flips y on every pattern.
+  circuit::Netlist nl("fi");
+  const auto a = nl.add_input("a");
+  const auto b = nl.add_input("b");
+  const auto g = nl.add_gate(circuit::GateKind::And, {a, b}, "g");
+  const auto y = nl.add_gate(circuit::GateKind::Not, {g}, "y");
+  nl.mark_output(y);
+  const auto impact = fault_impact(nl, 4, 3);
+  EXPECT_DOUBLE_EQ(impact[y], 1.0);
+  EXPECT_DOUBLE_EQ(impact[g], 1.0);  // single path, fully observable
+}
+
+TEST(FaultImpact, MaskedGateHasLowerImpact) {
+  // y = AND(g, zero-ish input c): g is observable only when c = 1.
+  circuit::Netlist nl("fim");
+  const auto a = nl.add_input("a");
+  const auto b = nl.add_input("b");
+  const auto c = nl.add_input("c");
+  const auto g = nl.add_gate(circuit::GateKind::Xor, {a, b}, "g");
+  const auto y = nl.add_gate(circuit::GateKind::And, {g, c}, "y");
+  nl.mark_output(y);
+  const auto impact = fault_impact(nl, 8, 5);
+  EXPECT_LT(impact[g], impact[y]);
+  EXPECT_NEAR(impact[g], 0.5, 0.15);  // observable iff c == 1
+}
+
+TEST(FaultImpact, SelectionPicksHighestImpactGates) {
+  const circuit::Netlist nl = circuit::c499_like();
+  const auto impact = fault_impact(nl, 8, 7);
+  const auto sel = select_gates(nl, 10, SelectionPolicy::FaultImpact, 7);
+  ASSERT_EQ(sel.size(), 10u);
+  // Every selected gate's impact must be >= every unselected lockable gate's
+  // impact (modulo stable-sort ties).
+  double min_selected = 1e9;
+  for (auto id : sel) min_selected = std::min(min_selected, impact[id]);
+  std::size_t better_unselected = 0;
+  for (auto id : lockable_gates(nl)) {
+    if (std::find(sel.begin(), sel.end(), id) == sel.end() &&
+        impact[id] > min_selected + 1e-12) {
+      ++better_unselected;
+    }
+  }
+  EXPECT_EQ(better_unselected, 0u);
+}
+
+TEST(FaultImpact, HighImpactLockingCorruptsMoreThanRandom) {
+  // The point of the heuristic: wrong keys corrupt more of the input space.
+  const circuit::Netlist nl = circuit::c17();
+  const auto fi_sel = select_gates(nl, 2, SelectionPolicy::FaultImpact, 11);
+  const auto locked = xor_lock(nl, fi_sel);
+  std::vector<bool> wrong(locked.correct_key.size());
+  for (std::size_t i = 0; i < wrong.size(); ++i) wrong[i] = !locked.correct_key[i];
+  EXPECT_GT(circuit::count_output_mismatches(locked.locked, wrong, nl, {}, 16, 13),
+            0u);
+}
+
+}  // namespace
+}  // namespace ic::locking

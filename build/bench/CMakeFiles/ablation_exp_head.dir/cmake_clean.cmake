@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_exp_head.dir/ablation_exp_head.cpp.o"
+  "CMakeFiles/ablation_exp_head.dir/ablation_exp_head.cpp.o.d"
+  "ablation_exp_head"
+  "ablation_exp_head.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_exp_head.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

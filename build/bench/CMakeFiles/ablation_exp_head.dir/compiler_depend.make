@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ablation_exp_head.
+# This may be replaced when dependencies are built.

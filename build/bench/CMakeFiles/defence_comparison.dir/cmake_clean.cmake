@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/defence_comparison.dir/defence_comparison.cpp.o"
+  "CMakeFiles/defence_comparison.dir/defence_comparison.cpp.o.d"
+  "defence_comparison"
+  "defence_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/defence_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

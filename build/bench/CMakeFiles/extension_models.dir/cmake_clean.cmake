@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_models.dir/extension_models.cpp.o"
+  "CMakeFiles/extension_models.dir/extension_models.cpp.o.d"
+  "extension_models"
+  "extension_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_predictions.dir/fig3_predictions.cpp.o"
+  "CMakeFiles/fig3_predictions.dir/fig3_predictions.cpp.o.d"
+  "fig3_predictions"
+  "fig3_predictions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_predictions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

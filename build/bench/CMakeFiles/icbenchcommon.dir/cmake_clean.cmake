@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icbenchcommon.dir/bench_common.cpp.o"
+  "CMakeFiles/icbenchcommon.dir/bench_common.cpp.o.d"
+  "libicbenchcommon.a"
+  "libicbenchcommon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icbenchcommon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_savings.dir/runtime_savings.cpp.o"
+  "CMakeFiles/runtime_savings.dir/runtime_savings.cpp.o.d"
+  "runtime_savings"
+  "runtime_savings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_savings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

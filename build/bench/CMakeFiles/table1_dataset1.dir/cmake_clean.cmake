@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_dataset1.dir/table1_dataset1.cpp.o"
+  "CMakeFiles/table1_dataset1.dir/table1_dataset1.cpp.o.d"
+  "table1_dataset1"
+  "table1_dataset1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_dataset1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_attention.dir/table3_attention.cpp.o"
+  "CMakeFiles/table3_attention.dir/table3_attention.cpp.o.d"
+  "table3_attention"
+  "table3_attention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_attention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

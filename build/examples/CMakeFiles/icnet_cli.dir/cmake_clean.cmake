@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icnet_cli.dir/icnet_cli.cpp.o"
+  "CMakeFiles/icnet_cli.dir/icnet_cli.cpp.o.d"
+  "icnet_cli"
+  "icnet_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icnet_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/obfuscation_policy_search.dir/obfuscation_policy_search.cpp.o"
+  "CMakeFiles/obfuscation_policy_search.dir/obfuscation_policy_search.cpp.o.d"
+  "obfuscation_policy_search"
+  "obfuscation_policy_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/obfuscation_policy_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sat_attack_demo.dir/sat_attack_demo.cpp.o"
+  "CMakeFiles/sat_attack_demo.dir/sat_attack_demo.cpp.o.d"
+  "sat_attack_demo"
+  "sat_attack_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sat_attack_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

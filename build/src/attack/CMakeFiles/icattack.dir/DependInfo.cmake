@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/attack/src/app_sat.cpp" "src/attack/CMakeFiles/icattack.dir/src/app_sat.cpp.o" "gcc" "src/attack/CMakeFiles/icattack.dir/src/app_sat.cpp.o.d"
+  "/root/repo/src/attack/src/brute_force.cpp" "src/attack/CMakeFiles/icattack.dir/src/brute_force.cpp.o" "gcc" "src/attack/CMakeFiles/icattack.dir/src/brute_force.cpp.o.d"
+  "/root/repo/src/attack/src/cec.cpp" "src/attack/CMakeFiles/icattack.dir/src/cec.cpp.o" "gcc" "src/attack/CMakeFiles/icattack.dir/src/cec.cpp.o.d"
+  "/root/repo/src/attack/src/encode.cpp" "src/attack/CMakeFiles/icattack.dir/src/encode.cpp.o" "gcc" "src/attack/CMakeFiles/icattack.dir/src/encode.cpp.o.d"
+  "/root/repo/src/attack/src/oracle.cpp" "src/attack/CMakeFiles/icattack.dir/src/oracle.cpp.o" "gcc" "src/attack/CMakeFiles/icattack.dir/src/oracle.cpp.o.d"
+  "/root/repo/src/attack/src/sat_attack.cpp" "src/attack/CMakeFiles/icattack.dir/src/sat_attack.cpp.o" "gcc" "src/attack/CMakeFiles/icattack.dir/src/sat_attack.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/circuit/CMakeFiles/iccircuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/sat/CMakeFiles/icsat.dir/DependInfo.cmake"
+  "/root/repo/build/src/locking/CMakeFiles/iclocking.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/icsupport.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

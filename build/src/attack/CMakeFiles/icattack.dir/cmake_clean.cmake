@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icattack.dir/src/app_sat.cpp.o"
+  "CMakeFiles/icattack.dir/src/app_sat.cpp.o.d"
+  "CMakeFiles/icattack.dir/src/brute_force.cpp.o"
+  "CMakeFiles/icattack.dir/src/brute_force.cpp.o.d"
+  "CMakeFiles/icattack.dir/src/cec.cpp.o"
+  "CMakeFiles/icattack.dir/src/cec.cpp.o.d"
+  "CMakeFiles/icattack.dir/src/encode.cpp.o"
+  "CMakeFiles/icattack.dir/src/encode.cpp.o.d"
+  "CMakeFiles/icattack.dir/src/oracle.cpp.o"
+  "CMakeFiles/icattack.dir/src/oracle.cpp.o.d"
+  "CMakeFiles/icattack.dir/src/sat_attack.cpp.o"
+  "CMakeFiles/icattack.dir/src/sat_attack.cpp.o.d"
+  "libicattack.a"
+  "libicattack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icattack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

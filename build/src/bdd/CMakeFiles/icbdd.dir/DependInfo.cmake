@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bdd/src/circuit_bdd.cpp" "src/bdd/CMakeFiles/icbdd.dir/src/circuit_bdd.cpp.o" "gcc" "src/bdd/CMakeFiles/icbdd.dir/src/circuit_bdd.cpp.o.d"
+  "/root/repo/src/bdd/src/manager.cpp" "src/bdd/CMakeFiles/icbdd.dir/src/manager.cpp.o" "gcc" "src/bdd/CMakeFiles/icbdd.dir/src/manager.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/circuit/CMakeFiles/iccircuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/icsupport.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

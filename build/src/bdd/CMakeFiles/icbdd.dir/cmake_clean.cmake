@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icbdd.dir/src/circuit_bdd.cpp.o"
+  "CMakeFiles/icbdd.dir/src/circuit_bdd.cpp.o.d"
+  "CMakeFiles/icbdd.dir/src/manager.cpp.o"
+  "CMakeFiles/icbdd.dir/src/manager.cpp.o.d"
+  "libicbdd.a"
+  "libicbdd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icbdd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

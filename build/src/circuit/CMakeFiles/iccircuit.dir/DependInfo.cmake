@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/circuit/src/aig.cpp" "src/circuit/CMakeFiles/iccircuit.dir/src/aig.cpp.o" "gcc" "src/circuit/CMakeFiles/iccircuit.dir/src/aig.cpp.o.d"
+  "/root/repo/src/circuit/src/bench_io.cpp" "src/circuit/CMakeFiles/iccircuit.dir/src/bench_io.cpp.o" "gcc" "src/circuit/CMakeFiles/iccircuit.dir/src/bench_io.cpp.o.d"
+  "/root/repo/src/circuit/src/gate.cpp" "src/circuit/CMakeFiles/iccircuit.dir/src/gate.cpp.o" "gcc" "src/circuit/CMakeFiles/iccircuit.dir/src/gate.cpp.o.d"
+  "/root/repo/src/circuit/src/generator.cpp" "src/circuit/CMakeFiles/iccircuit.dir/src/generator.cpp.o" "gcc" "src/circuit/CMakeFiles/iccircuit.dir/src/generator.cpp.o.d"
+  "/root/repo/src/circuit/src/library.cpp" "src/circuit/CMakeFiles/iccircuit.dir/src/library.cpp.o" "gcc" "src/circuit/CMakeFiles/iccircuit.dir/src/library.cpp.o.d"
+  "/root/repo/src/circuit/src/netlist.cpp" "src/circuit/CMakeFiles/iccircuit.dir/src/netlist.cpp.o" "gcc" "src/circuit/CMakeFiles/iccircuit.dir/src/netlist.cpp.o.d"
+  "/root/repo/src/circuit/src/optimize.cpp" "src/circuit/CMakeFiles/iccircuit.dir/src/optimize.cpp.o" "gcc" "src/circuit/CMakeFiles/iccircuit.dir/src/optimize.cpp.o.d"
+  "/root/repo/src/circuit/src/simulator.cpp" "src/circuit/CMakeFiles/iccircuit.dir/src/simulator.cpp.o" "gcc" "src/circuit/CMakeFiles/iccircuit.dir/src/simulator.cpp.o.d"
+  "/root/repo/src/circuit/src/verilog_io.cpp" "src/circuit/CMakeFiles/iccircuit.dir/src/verilog_io.cpp.o" "gcc" "src/circuit/CMakeFiles/iccircuit.dir/src/verilog_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/icsupport.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iccircuit.dir/src/aig.cpp.o"
+  "CMakeFiles/iccircuit.dir/src/aig.cpp.o.d"
+  "CMakeFiles/iccircuit.dir/src/bench_io.cpp.o"
+  "CMakeFiles/iccircuit.dir/src/bench_io.cpp.o.d"
+  "CMakeFiles/iccircuit.dir/src/gate.cpp.o"
+  "CMakeFiles/iccircuit.dir/src/gate.cpp.o.d"
+  "CMakeFiles/iccircuit.dir/src/generator.cpp.o"
+  "CMakeFiles/iccircuit.dir/src/generator.cpp.o.d"
+  "CMakeFiles/iccircuit.dir/src/library.cpp.o"
+  "CMakeFiles/iccircuit.dir/src/library.cpp.o.d"
+  "CMakeFiles/iccircuit.dir/src/netlist.cpp.o"
+  "CMakeFiles/iccircuit.dir/src/netlist.cpp.o.d"
+  "CMakeFiles/iccircuit.dir/src/optimize.cpp.o"
+  "CMakeFiles/iccircuit.dir/src/optimize.cpp.o.d"
+  "CMakeFiles/iccircuit.dir/src/simulator.cpp.o"
+  "CMakeFiles/iccircuit.dir/src/simulator.cpp.o.d"
+  "CMakeFiles/iccircuit.dir/src/verilog_io.cpp.o"
+  "CMakeFiles/iccircuit.dir/src/verilog_io.cpp.o.d"
+  "libiccircuit.a"
+  "libiccircuit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iccircuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/src/estimator.cpp" "src/core/CMakeFiles/iccore.dir/src/estimator.cpp.o" "gcc" "src/core/CMakeFiles/iccore.dir/src/estimator.cpp.o.d"
+  "/root/repo/src/core/src/model_io.cpp" "src/core/CMakeFiles/iccore.dir/src/model_io.cpp.o" "gcc" "src/core/CMakeFiles/iccore.dir/src/model_io.cpp.o.d"
+  "/root/repo/src/core/src/validation.cpp" "src/core/CMakeFiles/iccore.dir/src/validation.cpp.o" "gcc" "src/core/CMakeFiles/iccore.dir/src/validation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/data/CMakeFiles/icdata.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/icnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/icml.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/icsupport.dir/DependInfo.cmake"
+  "/root/repo/build/src/attack/CMakeFiles/icattack.dir/DependInfo.cmake"
+  "/root/repo/build/src/locking/CMakeFiles/iclocking.dir/DependInfo.cmake"
+  "/root/repo/build/src/sat/CMakeFiles/icsat.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/icgraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/iccircuit.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iccore.dir/src/estimator.cpp.o"
+  "CMakeFiles/iccore.dir/src/estimator.cpp.o.d"
+  "CMakeFiles/iccore.dir/src/model_io.cpp.o"
+  "CMakeFiles/iccore.dir/src/model_io.cpp.o.d"
+  "CMakeFiles/iccore.dir/src/validation.cpp.o"
+  "CMakeFiles/iccore.dir/src/validation.cpp.o.d"
+  "libiccore.a"
+  "libiccore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iccore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

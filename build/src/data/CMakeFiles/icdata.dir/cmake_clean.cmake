@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icdata.dir/src/dataset.cpp.o"
+  "CMakeFiles/icdata.dir/src/dataset.cpp.o.d"
+  "CMakeFiles/icdata.dir/src/dataset_io.cpp.o"
+  "CMakeFiles/icdata.dir/src/dataset_io.cpp.o.d"
+  "CMakeFiles/icdata.dir/src/features.cpp.o"
+  "CMakeFiles/icdata.dir/src/features.cpp.o.d"
+  "CMakeFiles/icdata.dir/src/metrics.cpp.o"
+  "CMakeFiles/icdata.dir/src/metrics.cpp.o.d"
+  "CMakeFiles/icdata.dir/src/profile.cpp.o"
+  "CMakeFiles/icdata.dir/src/profile.cpp.o.d"
+  "libicdata.a"
+  "libicdata.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icdata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

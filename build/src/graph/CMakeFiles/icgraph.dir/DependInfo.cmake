@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/src/matrix.cpp" "src/graph/CMakeFiles/icgraph.dir/src/matrix.cpp.o" "gcc" "src/graph/CMakeFiles/icgraph.dir/src/matrix.cpp.o.d"
+  "/root/repo/src/graph/src/sparse.cpp" "src/graph/CMakeFiles/icgraph.dir/src/sparse.cpp.o" "gcc" "src/graph/CMakeFiles/icgraph.dir/src/sparse.cpp.o.d"
+  "/root/repo/src/graph/src/structure.cpp" "src/graph/CMakeFiles/icgraph.dir/src/structure.cpp.o" "gcc" "src/graph/CMakeFiles/icgraph.dir/src/structure.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/icsupport.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/iccircuit.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

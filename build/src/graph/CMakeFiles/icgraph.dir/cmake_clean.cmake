@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icgraph.dir/src/matrix.cpp.o"
+  "CMakeFiles/icgraph.dir/src/matrix.cpp.o.d"
+  "CMakeFiles/icgraph.dir/src/sparse.cpp.o"
+  "CMakeFiles/icgraph.dir/src/sparse.cpp.o.d"
+  "CMakeFiles/icgraph.dir/src/structure.cpp.o"
+  "CMakeFiles/icgraph.dir/src/structure.cpp.o.d"
+  "libicgraph.a"
+  "libicgraph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icgraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

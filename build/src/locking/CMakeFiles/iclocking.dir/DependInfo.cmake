@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/locking/src/anti_sat.cpp" "src/locking/CMakeFiles/iclocking.dir/src/anti_sat.cpp.o" "gcc" "src/locking/CMakeFiles/iclocking.dir/src/anti_sat.cpp.o.d"
+  "/root/repo/src/locking/src/apply_key.cpp" "src/locking/CMakeFiles/iclocking.dir/src/apply_key.cpp.o" "gcc" "src/locking/CMakeFiles/iclocking.dir/src/apply_key.cpp.o.d"
+  "/root/repo/src/locking/src/lut_lock.cpp" "src/locking/CMakeFiles/iclocking.dir/src/lut_lock.cpp.o" "gcc" "src/locking/CMakeFiles/iclocking.dir/src/lut_lock.cpp.o.d"
+  "/root/repo/src/locking/src/policy.cpp" "src/locking/CMakeFiles/iclocking.dir/src/policy.cpp.o" "gcc" "src/locking/CMakeFiles/iclocking.dir/src/policy.cpp.o.d"
+  "/root/repo/src/locking/src/xor_lock.cpp" "src/locking/CMakeFiles/iclocking.dir/src/xor_lock.cpp.o" "gcc" "src/locking/CMakeFiles/iclocking.dir/src/xor_lock.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/circuit/CMakeFiles/iccircuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/icsupport.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

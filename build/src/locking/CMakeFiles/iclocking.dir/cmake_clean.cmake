@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iclocking.dir/src/anti_sat.cpp.o"
+  "CMakeFiles/iclocking.dir/src/anti_sat.cpp.o.d"
+  "CMakeFiles/iclocking.dir/src/apply_key.cpp.o"
+  "CMakeFiles/iclocking.dir/src/apply_key.cpp.o.d"
+  "CMakeFiles/iclocking.dir/src/lut_lock.cpp.o"
+  "CMakeFiles/iclocking.dir/src/lut_lock.cpp.o.d"
+  "CMakeFiles/iclocking.dir/src/policy.cpp.o"
+  "CMakeFiles/iclocking.dir/src/policy.cpp.o.d"
+  "CMakeFiles/iclocking.dir/src/xor_lock.cpp.o"
+  "CMakeFiles/iclocking.dir/src/xor_lock.cpp.o.d"
+  "libiclocking.a"
+  "libiclocking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iclocking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/src/greedy_models.cpp" "src/ml/CMakeFiles/icml.dir/src/greedy_models.cpp.o" "gcc" "src/ml/CMakeFiles/icml.dir/src/greedy_models.cpp.o.d"
+  "/root/repo/src/ml/src/linear_models.cpp" "src/ml/CMakeFiles/icml.dir/src/linear_models.cpp.o" "gcc" "src/ml/CMakeFiles/icml.dir/src/linear_models.cpp.o.d"
+  "/root/repo/src/ml/src/online_models.cpp" "src/ml/CMakeFiles/icml.dir/src/online_models.cpp.o" "gcc" "src/ml/CMakeFiles/icml.dir/src/online_models.cpp.o.d"
+  "/root/repo/src/ml/src/regressor.cpp" "src/ml/CMakeFiles/icml.dir/src/regressor.cpp.o" "gcc" "src/ml/CMakeFiles/icml.dir/src/regressor.cpp.o.d"
+  "/root/repo/src/ml/src/robust_models.cpp" "src/ml/CMakeFiles/icml.dir/src/robust_models.cpp.o" "gcc" "src/ml/CMakeFiles/icml.dir/src/robust_models.cpp.o.d"
+  "/root/repo/src/ml/src/svr.cpp" "src/ml/CMakeFiles/icml.dir/src/svr.cpp.o" "gcc" "src/ml/CMakeFiles/icml.dir/src/svr.cpp.o.d"
+  "/root/repo/src/ml/src/tree_models.cpp" "src/ml/CMakeFiles/icml.dir/src/tree_models.cpp.o" "gcc" "src/ml/CMakeFiles/icml.dir/src/tree_models.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/icgraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/icsupport.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/iccircuit.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icml.dir/src/greedy_models.cpp.o"
+  "CMakeFiles/icml.dir/src/greedy_models.cpp.o.d"
+  "CMakeFiles/icml.dir/src/linear_models.cpp.o"
+  "CMakeFiles/icml.dir/src/linear_models.cpp.o.d"
+  "CMakeFiles/icml.dir/src/online_models.cpp.o"
+  "CMakeFiles/icml.dir/src/online_models.cpp.o.d"
+  "CMakeFiles/icml.dir/src/regressor.cpp.o"
+  "CMakeFiles/icml.dir/src/regressor.cpp.o.d"
+  "CMakeFiles/icml.dir/src/robust_models.cpp.o"
+  "CMakeFiles/icml.dir/src/robust_models.cpp.o.d"
+  "CMakeFiles/icml.dir/src/svr.cpp.o"
+  "CMakeFiles/icml.dir/src/svr.cpp.o.d"
+  "CMakeFiles/icml.dir/src/tree_models.cpp.o"
+  "CMakeFiles/icml.dir/src/tree_models.cpp.o.d"
+  "libicml.a"
+  "libicml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for icml.
+# This may be replaced when dependencies are built.

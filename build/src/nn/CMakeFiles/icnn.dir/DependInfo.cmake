@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/src/graph_conv.cpp" "src/nn/CMakeFiles/icnn.dir/src/graph_conv.cpp.o" "gcc" "src/nn/CMakeFiles/icnn.dir/src/graph_conv.cpp.o.d"
+  "/root/repo/src/nn/src/optimizer.cpp" "src/nn/CMakeFiles/icnn.dir/src/optimizer.cpp.o" "gcc" "src/nn/CMakeFiles/icnn.dir/src/optimizer.cpp.o.d"
+  "/root/repo/src/nn/src/regressor.cpp" "src/nn/CMakeFiles/icnn.dir/src/regressor.cpp.o" "gcc" "src/nn/CMakeFiles/icnn.dir/src/regressor.cpp.o.d"
+  "/root/repo/src/nn/src/trainer.cpp" "src/nn/CMakeFiles/icnn.dir/src/trainer.cpp.o" "gcc" "src/nn/CMakeFiles/icnn.dir/src/trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/icgraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/icsupport.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/iccircuit.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icnn.dir/src/graph_conv.cpp.o"
+  "CMakeFiles/icnn.dir/src/graph_conv.cpp.o.d"
+  "CMakeFiles/icnn.dir/src/optimizer.cpp.o"
+  "CMakeFiles/icnn.dir/src/optimizer.cpp.o.d"
+  "CMakeFiles/icnn.dir/src/regressor.cpp.o"
+  "CMakeFiles/icnn.dir/src/regressor.cpp.o.d"
+  "CMakeFiles/icnn.dir/src/trainer.cpp.o"
+  "CMakeFiles/icnn.dir/src/trainer.cpp.o.d"
+  "libicnn.a"
+  "libicnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icsat.dir/src/dimacs.cpp.o"
+  "CMakeFiles/icsat.dir/src/dimacs.cpp.o.d"
+  "CMakeFiles/icsat.dir/src/solver.cpp.o"
+  "CMakeFiles/icsat.dir/src/solver.cpp.o.d"
+  "libicsat.a"
+  "libicsat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icsat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

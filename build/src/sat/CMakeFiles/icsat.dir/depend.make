@@ -1,0 +1,2 @@
+# Empty dependencies file for icsat.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icsupport.dir/src/strings.cpp.o"
+  "CMakeFiles/icsupport.dir/src/strings.cpp.o.d"
+  "CMakeFiles/icsupport.dir/src/timer.cpp.o"
+  "CMakeFiles/icsupport.dir/src/timer.cpp.o.d"
+  "libicsupport.a"
+  "libicsupport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icsupport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

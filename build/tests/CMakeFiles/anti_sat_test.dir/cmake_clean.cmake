@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anti_sat_test.dir/anti_sat_test.cpp.o"
+  "CMakeFiles/anti_sat_test.dir/anti_sat_test.cpp.o.d"
+  "anti_sat_test"
+  "anti_sat_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anti_sat_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apply_key_test.dir/apply_key_test.cpp.o"
+  "CMakeFiles/apply_key_test.dir/apply_key_test.cpp.o.d"
+  "apply_key_test"
+  "apply_key_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apply_key_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attack_cec_appsat_test.dir/attack_cec_appsat_test.cpp.o"
+  "CMakeFiles/attack_cec_appsat_test.dir/attack_cec_appsat_test.cpp.o.d"
+  "attack_cec_appsat_test"
+  "attack_cec_appsat_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attack_cec_appsat_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

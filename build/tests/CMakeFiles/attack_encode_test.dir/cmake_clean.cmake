@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attack_encode_test.dir/attack_encode_test.cpp.o"
+  "CMakeFiles/attack_encode_test.dir/attack_encode_test.cpp.o.d"
+  "attack_encode_test"
+  "attack_encode_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attack_encode_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/circuit_gate_test.dir/circuit_gate_test.cpp.o"
+  "CMakeFiles/circuit_gate_test.dir/circuit_gate_test.cpp.o.d"
+  "circuit_gate_test"
+  "circuit_gate_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/circuit_gate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

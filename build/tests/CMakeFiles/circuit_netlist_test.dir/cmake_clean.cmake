@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/circuit_netlist_test.dir/circuit_netlist_test.cpp.o"
+  "CMakeFiles/circuit_netlist_test.dir/circuit_netlist_test.cpp.o.d"
+  "circuit_netlist_test"
+  "circuit_netlist_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/circuit_netlist_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/circuit_optimize_test.dir/circuit_optimize_test.cpp.o"
+  "CMakeFiles/circuit_optimize_test.dir/circuit_optimize_test.cpp.o.d"
+  "circuit_optimize_test"
+  "circuit_optimize_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/circuit_optimize_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

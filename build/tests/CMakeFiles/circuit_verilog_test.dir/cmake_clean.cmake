@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/circuit_verilog_test.dir/circuit_verilog_test.cpp.o"
+  "CMakeFiles/circuit_verilog_test.dir/circuit_verilog_test.cpp.o.d"
+  "circuit_verilog_test"
+  "circuit_verilog_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/circuit_verilog_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/graph_matrix_test.cpp" "tests/CMakeFiles/graph_matrix_test.dir/graph_matrix_test.cpp.o" "gcc" "tests/CMakeFiles/graph_matrix_test.dir/graph_matrix_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/iccore.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/icdata.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/icml.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/icnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/attack/CMakeFiles/icattack.dir/DependInfo.cmake"
+  "/root/repo/build/src/locking/CMakeFiles/iclocking.dir/DependInfo.cmake"
+  "/root/repo/build/src/bdd/CMakeFiles/icbdd.dir/DependInfo.cmake"
+  "/root/repo/build/src/sat/CMakeFiles/icsat.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/icgraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/iccircuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/icsupport.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

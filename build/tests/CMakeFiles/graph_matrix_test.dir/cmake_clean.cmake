@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_matrix_test.dir/graph_matrix_test.cpp.o"
+  "CMakeFiles/graph_matrix_test.dir/graph_matrix_test.cpp.o.d"
+  "graph_matrix_test"
+  "graph_matrix_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_sparse_test.dir/graph_sparse_test.cpp.o"
+  "CMakeFiles/graph_sparse_test.dir/graph_sparse_test.cpp.o.d"
+  "graph_sparse_test"
+  "graph_sparse_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_sparse_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_structure_test.dir/graph_structure_test.cpp.o"
+  "CMakeFiles/graph_structure_test.dir/graph_structure_test.cpp.o.d"
+  "graph_structure_test"
+  "graph_structure_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_structure_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sat_dimacs_test.dir/sat_dimacs_test.cpp.o"
+  "CMakeFiles/sat_dimacs_test.dir/sat_dimacs_test.cpp.o.d"
+  "sat_dimacs_test"
+  "sat_dimacs_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sat_dimacs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

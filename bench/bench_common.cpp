@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 #include "ic/circuit/generator.hpp"
 #include "ic/data/dataset_io.hpp"
@@ -9,6 +10,7 @@
 #include "ic/ml/regressor.hpp"
 #include "ic/nn/trainer.hpp"
 #include "ic/support/strings.hpp"
+#include "ic/support/telemetry.hpp"
 
 namespace icbench {
 
@@ -18,7 +20,22 @@ using ic::data::Split;
 using ic::data::StructureKind;
 using ic::nn::Readout;
 
+namespace {
+
+/// Every bench binary passes through here (main_circuit or a measurement):
+/// register the exit-time ICNET_METRICS_OUT snapshot exactly once.
+void ensure_flush_hook() {
+  static const bool registered = [] {
+    std::atexit(flush_bench_metrics);
+    return true;
+  }();
+  (void)registered;
+}
+
+}  // namespace
+
 ic::circuit::Netlist main_circuit(const ExperimentProfile& profile) {
+  ensure_flush_hook();
   ic::circuit::GeneratorSpec spec;
   spec.num_gates = profile.circuit_gates;
   spec.num_inputs = profile.circuit_inputs;
@@ -88,7 +105,31 @@ ic::nn::TrainOptions train_options_for(ic::nn::Readout readout,
   return opt;
 }
 
+const char* readout_name(Readout readout) {
+  switch (readout) {
+    case Readout::Sum: return "sum";
+    case Readout::Mean: return "mean";
+    case Readout::Attention: return "nn";
+  }
+  return "?";
+}
+
+const char* feature_name(FeatureSet features) {
+  return features == FeatureSet::Location ? "location" : "all";
+}
+
 }  // namespace
+
+void record_measurement(const std::string& name, double value) {
+  ensure_flush_hook();
+  ic::telemetry::MetricsRegistry::global().gauge("bench." + name).set(value);
+}
+
+void flush_bench_metrics() {
+  const char* path = std::getenv("ICNET_METRICS_OUT");
+  if (path == nullptr || *path == '\0') return;
+  ic::telemetry::dump_metrics(path);
+}
 
 double evaluate_gnn(const Dataset& dataset, const Split& split,
                     GnnVariant variant, Readout readout, FeatureSet features,
@@ -99,8 +140,15 @@ double evaluate_gnn(const Dataset& dataset, const Split& split,
   const auto test = ic::data::take(samples, split.test);
 
   ic::nn::GnnRegressor model(config_for(variant, readout, features));
-  ic::nn::train_gnn(model, train, train_options_for(readout, profile));
-  return ic::nn::evaluate_mse(model, test);
+  const auto report =
+      ic::nn::train_gnn(model, train, train_options_for(readout, profile));
+  const double mse = ic::nn::evaluate_mse(model, test);
+
+  const std::string key = std::string(variant_name(variant)) + "." +
+                          readout_name(readout) + "." + feature_name(features);
+  record_measurement("gnn." + key + ".mse", mse);
+  record_measurement("gnn." + key + ".train_seconds", report.wall_seconds);
+  return mse;
 }
 
 double evaluate_baseline(const std::string& name, const Dataset& dataset,
@@ -118,7 +166,12 @@ double evaluate_baseline(const std::string& name, const Dataset& dataset,
 
   auto model = ic::ml::make_regressor(name, 555);
   model->fit(xtrain, ytrain);
-  return model->mse(xtest, ytest);
+  const double mse = model->mse(xtest, ytest);
+  record_measurement("baseline." + name + "." + feature_name(features) + "." +
+                         (aggregation == Aggregation::Sum ? "sum" : "mean") +
+                         ".mse",
+                     mse);
+  return mse;
 }
 
 std::string cell(double v) {
@@ -191,8 +244,14 @@ TrainedICNet train_icnet_nn(const Dataset& dataset,
   out.test_indices = split.test;
   out.model = std::make_unique<ic::nn::GnnRegressor>(
       config_for(GnnVariant::ICNet, Readout::Attention, features));
-  ic::nn::train_gnn(*out.model, out.train,
-                    train_options_for(Readout::Attention, profile));
+  const auto report = ic::nn::train_gnn(
+      *out.model, out.train, train_options_for(Readout::Attention, profile));
+  record_measurement(std::string("icnet_nn.") + feature_name(features) +
+                         ".train_seconds",
+                     report.wall_seconds);
+  record_measurement(std::string("icnet_nn.") + feature_name(features) +
+                         ".final_train_mse",
+                     report.final_train_mse);
   return out;
 }
 

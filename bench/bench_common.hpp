@@ -66,4 +66,14 @@ TrainedICNet train_icnet_nn(const Dataset& dataset,
 /// Format helper: fixed 4 decimals or scientific for huge/N-A values.
 std::string cell(double v);
 
+/// Record one benchmark measurement as gauge `bench.<name>` in the global
+/// ic::telemetry metrics registry. Every bench number flows through here, so
+/// BENCH_*.json snapshots all come from one code path. The first call
+/// registers an exit hook that writes the registry JSON to the path named by
+/// ICNET_METRICS_OUT (no-op when unset).
+void record_measurement(const std::string& name, double value);
+
+/// Immediate snapshot to ICNET_METRICS_OUT (no-op when unset).
+void flush_bench_metrics();
+
 }  // namespace icbench

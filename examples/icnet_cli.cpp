@@ -9,6 +9,14 @@
 //   icnet_cli train   <circuit.bench> <in.dataset> <out.model>
 //   icnet_cli predict <circuit.bench> <in.model> --select "12,57,101"
 //
+// Telemetry flags, accepted by every subcommand:
+//   --log-level trace|debug|info|warn|error|off   runtime log threshold
+//                                                 (overrides IC_LOG_LEVEL)
+//   --trace-out <file>    record scoped trace spans and write them as Chrome
+//                         trace-event JSON (load in chrome://tracing)
+//   --metrics-out <file>  dump the metrics registry (counters, gauges,
+//                         histograms) as JSON when the command finishes
+//
 // Exit code 0 on success; errors go to stderr.
 #include <cstdio>
 #include <cstring>
@@ -24,6 +32,7 @@
 #include "ic/locking/policy.hpp"
 #include "ic/locking/xor_lock.hpp"
 #include "ic/support/strings.hpp"
+#include "ic/support/telemetry.hpp"
 
 namespace {
 
@@ -53,6 +62,15 @@ Args parse_args(int argc, char** argv, int skip) {
 std::string opt(const Args& a, const std::string& key, const std::string& dflt) {
   const auto it = a.options.find(key);
   return it == a.options.end() ? dflt : it->second;
+}
+
+/// Remove a global (pre-dispatch) option so subcommands never see it.
+std::string take_opt(Args& a, const std::string& key) {
+  const auto it = a.options.find(key);
+  if (it == a.options.end()) return "";
+  std::string value = it->second;
+  a.options.erase(it);
+  return value;
 }
 
 int cmd_lock(const Args& a) {
@@ -171,7 +189,18 @@ int cmd_predict(const Args& a) {
 void usage() {
   std::fprintf(stderr,
                "usage: icnet_cli <lock|attack|dataset|train|predict> ...\n"
+               "       [--log-level L] [--trace-out F] [--metrics-out F]\n"
                "see the header of examples/icnet_cli.cpp for details\n");
+}
+
+int dispatch(const std::string& cmd, const Args& args) {
+  if (cmd == "lock") return cmd_lock(args);
+  if (cmd == "attack") return cmd_attack(args);
+  if (cmd == "dataset") return cmd_dataset(args);
+  if (cmd == "train") return cmd_train(args);
+  if (cmd == "predict") return cmd_predict(args);
+  usage();
+  return 2;
 }
 
 }  // namespace
@@ -182,17 +211,33 @@ int main(int argc, char** argv) {
     return 2;
   }
   const std::string cmd = argv[1];
+  std::string trace_out, metrics_out;
+  auto flush_telemetry = [&]() {
+    if (!trace_out.empty()) ic::telemetry::dump_trace(trace_out);
+    if (!metrics_out.empty()) ic::telemetry::dump_metrics(metrics_out);
+  };
   try {
-    const Args args = parse_args(argc, argv, 2);
-    if (cmd == "lock") return cmd_lock(args);
-    if (cmd == "attack") return cmd_attack(args);
-    if (cmd == "dataset") return cmd_dataset(args);
-    if (cmd == "train") return cmd_train(args);
-    if (cmd == "predict") return cmd_predict(args);
-    usage();
-    return 2;
+    Args args = parse_args(argc, argv, 2);
+    const std::string log_level = take_opt(args, "log-level");
+    if (!log_level.empty()) {
+      ic::telemetry::Logger::instance().set_level(
+          ic::telemetry::parse_level(log_level, ic::telemetry::Level::warn));
+    }
+    trace_out = take_opt(args, "trace-out");
+    metrics_out = take_opt(args, "metrics-out");
+    if (!trace_out.empty()) {
+      ic::telemetry::TraceCollector::global().set_enabled(true);
+    }
+    const int rc = dispatch(cmd, args);
+    flush_telemetry();
+    return rc;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
+    // Partial traces are still useful for diagnosing the failure.
+    try {
+      flush_telemetry();
+    } catch (const std::exception&) {
+    }
     return 1;
   }
 }

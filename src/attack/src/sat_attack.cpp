@@ -3,6 +3,7 @@
 #include "ic/attack/encode.hpp"
 #include "ic/circuit/simulator.hpp"
 #include "ic/support/assert.hpp"
+#include "ic/support/telemetry.hpp"
 #include "ic/support/timer.hpp"
 
 namespace ic::attack {
@@ -22,6 +23,12 @@ AttackResult sat_attack(const Netlist& locked, Oracle& oracle,
   AttackResult result;
   Timer timer;
   Solver solver(options.solver_config);
+
+  telemetry::TraceSpan attack_span("sat_attack");
+  auto& metrics = telemetry::MetricsRegistry::global();
+  auto& dip_solve_hist = metrics.histogram("sat_attack.dip_solve_seconds");
+  telemetry::TraceSpan miter_span("sat_attack/build_miter");
+  Timer miter_timer;
 
   // Cone of influence of the key bits: only gates downstream of a
   // key-programmed LUT (or a key input feeding ordinary logic) can depend
@@ -84,6 +91,12 @@ AttackResult sat_attack(const Netlist& locked, Oracle& oracle,
   }
   solver.add_clause(std::move(any_diff));
 
+  miter_span.end();
+  metrics.histogram("sat_attack.miter_build_seconds").observe(miter_timer.seconds());
+  ICLOG(debug) << "miter built" << telemetry::kv("gates", locked.size())
+               << telemetry::kv("keys", locked.num_keys())
+               << telemetry::kv("seconds", miter_timer.seconds());
+
   // Simulator for folding the key-independent values of each DIP.
   const circuit::Simulator locked_sim(locked);
   const std::vector<bool> zero_key(locked.num_keys(), false);
@@ -94,12 +107,31 @@ AttackResult sat_attack(const Netlist& locked, Oracle& oracle,
     return used >= options.max_conflicts ? 1 : options.max_conflicts - used;
   };
 
+  // Called exactly once per attack, on every return path. Besides filling
+  // the result, it publishes the per-attack deltas to the metrics registry —
+  // observability only, never read back, so determinism is untouched.
   auto snapshot_stats = [&]() {
     result.conflicts = solver.stats().conflicts;
     result.propagations = solver.stats().propagations;
     result.decisions = solver.stats().decisions;
     result.oracle_queries = oracle.query_count();
     result.wall_seconds = timer.seconds();
+
+    metrics.counter("sat_attack.attacks").add(1);
+    metrics.counter("sat_attack.iterations").add(result.iterations);
+    metrics.counter("sat_attack.conflicts").add(result.conflicts);
+    metrics.counter("sat_attack.propagations").add(result.propagations);
+    metrics.counter("sat_attack.decisions").add(result.decisions);
+    metrics.counter("sat_attack.oracle_queries").add(result.oracle_queries);
+    if (result.hit_cap) metrics.counter("sat_attack.caps_hit").add(1);
+    metrics.gauge("sat_attack.last_wall_seconds").set(result.wall_seconds);
+    ICLOG(info) << "sat_attack finished"
+                << telemetry::kv("success", result.success)
+                << telemetry::kv("hit_cap", result.hit_cap)
+                << telemetry::kv("dips", result.iterations)
+                << telemetry::kv("conflicts", result.conflicts)
+                << telemetry::kv("propagations", result.propagations)
+                << telemetry::kv("wall_s", result.wall_seconds);
   };
 
   std::vector<bool> dip(locked.num_inputs());
@@ -122,8 +154,16 @@ AttackResult sat_attack(const Netlist& locked, Oracle& oracle,
       return result;
     }
 
+    telemetry::TraceSpan iter_span("sat_attack/dip_iter");
     solver.set_max_conflicts(remaining_budget());
+    const std::uint64_t conflicts_before = solver.stats().conflicts;
+    Timer solve_timer;
     const Result r = solver.solve({sat::pos(act)});
+    dip_solve_hist.observe(solve_timer.seconds());
+    ICLOG(debug) << "dip solve" << telemetry::kv("iter", result.iterations)
+                 << telemetry::kv("seconds", solve_timer.seconds())
+                 << telemetry::kv("conflicts",
+                                  solver.stats().conflicts - conflicts_before);
 
     if (r == Result::Unknown) {
       result.hit_cap = true;
@@ -166,6 +206,7 @@ AttackResult sat_attack(const Netlist& locked, Oracle& oracle,
   }
 
   // Miter UNSAT: extract any key satisfying the accumulated constraints.
+  telemetry::TraceSpan extract_span("sat_attack/extract_key");
   solver.set_max_conflicts(remaining_budget());
   const Result r = solver.solve({sat::neg(act)});
   if (r != Result::Sat) {

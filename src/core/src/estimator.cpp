@@ -5,6 +5,7 @@
 
 #include "ic/core/model_io.hpp"
 #include "ic/support/assert.hpp"
+#include "ic/support/telemetry.hpp"
 
 namespace ic::core {
 
@@ -57,6 +58,8 @@ void RuntimeEstimator::set_circuit(const Netlist& circuit) {
 
 nn::TrainReport RuntimeEstimator::fit(const data::Dataset& dataset) {
   IC_ASSERT(dataset.circuit != nullptr);
+  telemetry::TraceSpan span("estimator/fit");
+  telemetry::MetricsRegistry::global().counter("estimator.fits").add(1);
   circuit_ = dataset.circuit;
   structure_ = data::make_structure(*circuit_, structure_kind());
   const auto samples =
@@ -69,6 +72,8 @@ nn::TrainReport RuntimeEstimator::fit(const data::Dataset& dataset) {
 double RuntimeEstimator::predict_log_runtime(const std::vector<GateId>& selection) {
   IC_CHECK(fitted_, "RuntimeEstimator::predict called before fit()/load()");
   IC_CHECK(circuit_ != nullptr, "no circuit bound; call set_circuit()");
+  telemetry::TraceSpan span("estimator/predict");
+  telemetry::MetricsRegistry::global().counter("estimator.predictions").add(1);
   const auto x = data::gate_features(*circuit_, selection, options_.features);
   return model_->predict(*structure_, x);
 }
@@ -80,6 +85,10 @@ double RuntimeEstimator::predict_seconds(const std::vector<GateId>& selection) {
 
 std::vector<std::size_t> RuntimeEstimator::rank_selections(
     const std::vector<std::vector<GateId>>& candidates) {
+  telemetry::TraceSpan span("estimator/rank_selections");
+  telemetry::MetricsRegistry::global()
+      .counter("estimator.ranked_candidates")
+      .add(candidates.size());
   std::vector<double> predicted;
   predicted.reserve(candidates.size());
   for (const auto& sel : candidates) predicted.push_back(predict_log_runtime(sel));
@@ -93,6 +102,7 @@ std::vector<std::size_t> RuntimeEstimator::rank_selections(
 
 double RuntimeEstimator::evaluate(const data::Dataset& dataset) {
   IC_CHECK(fitted_, "RuntimeEstimator::evaluate called before fit()");
+  telemetry::TraceSpan span("estimator/evaluate");
   auto samples = data::to_gnn_samples(dataset, options_.features, structure_kind());
   return nn::evaluate_mse(*model_, samples);
 }

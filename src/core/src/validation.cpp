@@ -5,6 +5,7 @@
 #include "ic/data/metrics.hpp"
 #include "ic/support/assert.hpp"
 #include "ic/support/rng.hpp"
+#include "ic/support/telemetry.hpp"
 
 namespace ic::core {
 
@@ -21,7 +22,9 @@ CrossValidationReport cross_validate(const EstimatorOptions& options,
   rng.shuffle(order);
 
   CrossValidationReport report;
+  telemetry::TraceSpan cv_span("estimator/cross_validate");
   for (std::size_t fold = 0; fold < folds; ++fold) {
+    telemetry::TraceSpan fold_span("estimator/cv_fold");
     data::Dataset train_ds, test_ds;
     train_ds.circuit = dataset.circuit;
     test_ds.circuit = dataset.circuit;

@@ -6,6 +6,7 @@
 #include "ic/graph/structure.hpp"
 #include "ic/support/assert.hpp"
 #include "ic/support/rng.hpp"
+#include "ic/support/telemetry.hpp"
 
 namespace ic::data {
 
@@ -34,8 +35,11 @@ Dataset generate_dataset(const Netlist& circuit, const DatasetOptions& options) 
            "circuit has only " << lockable << " lockable gates; min_gates="
                                << options.min_gates);
 
+  telemetry::TraceSpan gen_span("dataset/generate");
+  auto& metrics = telemetry::MetricsRegistry::global();
   attack::NetlistOracle oracle(circuit);
   for (std::size_t i = 0; i < options.num_instances; ++i) {
+    telemetry::TraceSpan inst_span("dataset/instance");
     Instance inst;
     const std::size_t k = static_cast<std::size_t>(
         rng.uniform_int(static_cast<std::int64_t>(options.min_gates),
@@ -56,8 +60,15 @@ Dataset generate_dataset(const Netlist& circuit, const DatasetOptions& options) 
     inst.attack = attack::sat_attack(locked, oracle, options.attack);
     inst.runtime_seconds = options.use_wall_time ? inst.attack.wall_seconds
                                                  : inst.attack.estimated_seconds();
+    metrics.counter("dataset.instances").add(1);
+    metrics.histogram("dataset.label_seconds").observe(inst.runtime_seconds);
+    ICLOG(debug) << "labeled instance" << telemetry::kv("index", i)
+                 << telemetry::kv("gates", inst.selection.size())
+                 << telemetry::kv("runtime_s", inst.runtime_seconds);
     ds.instances.push_back(std::move(inst));
   }
+  ICLOG(info) << "dataset generated"
+              << telemetry::kv("instances", ds.instances.size());
   return ds;
 }
 
@@ -85,6 +96,7 @@ std::vector<nn::GraphSample> to_gnn_samples(const Dataset& dataset,
                                             FeatureSet features,
                                             StructureKind structure) {
   IC_ASSERT(dataset.circuit != nullptr);
+  telemetry::TraceSpan span("dataset/to_gnn_samples");
   const auto op = make_structure(*dataset.circuit, structure);
   const auto targets = dataset.log_targets();
   std::vector<nn::GraphSample> samples;

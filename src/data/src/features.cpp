@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "ic/support/assert.hpp"
+#include "ic/support/metrics.hpp"
+#include "ic/support/timer.hpp"
 
 namespace ic::data {
 
@@ -42,6 +44,7 @@ std::vector<std::string> feature_names(FeatureSet set) {
 
 Matrix gate_features(const Netlist& nl, const std::vector<GateId>& selection,
                      FeatureSet set) {
+  const Timer timer;
   const std::size_t n = nl.size();
   Matrix x(n, feature_width(set));
   for (GateId id : selection) {
@@ -54,6 +57,11 @@ Matrix gate_features(const Netlist& nl, const std::vector<GateId>& selection,
       if (slot >= 0) x(id, 1 + static_cast<std::size_t>(slot)) = 1.0;
     }
   }
+  // Registered once, then two relaxed atomic ops per call — cheap next to
+  // the n×f matrix fill above.
+  static auto& extraction_hist =
+      telemetry::MetricsRegistry::global().histogram("data.gate_features_seconds");
+  extraction_hist.observe(timer.seconds());
   return x;
 }
 

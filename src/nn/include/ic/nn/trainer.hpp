@@ -41,6 +41,10 @@ struct TrainReport {
   std::size_t epochs_run = 0;
   double final_train_mse = 0.0;
   std::vector<double> epoch_losses;
+  /// Wall-clock seconds per epoch, parallel to epoch_losses.
+  std::vector<double> epoch_seconds;
+  /// Total wall-clock seconds spent in train_gnn.
+  double wall_seconds = 0.0;
 };
 
 /// Train with Adam on MSE. Returns the per-epoch loss trace.

@@ -1,12 +1,13 @@
 #include "ic/nn/trainer.hpp"
 
 #include <cmath>
-#include <cstdio>
 #include <limits>
 #include <numeric>
 
 #include "ic/nn/optimizer.hpp"
 #include "ic/support/rng.hpp"
+#include "ic/support/telemetry.hpp"
+#include "ic/support/timer.hpp"
 
 namespace ic::nn {
 
@@ -14,6 +15,11 @@ TrainReport train_gnn(GnnRegressor& model, const std::vector<GraphSample>& train
                       const TrainOptions& options) {
   IC_ASSERT(!train.empty());
   TrainReport report;
+  telemetry::TraceSpan train_span("train_gnn");
+  auto& metrics = telemetry::MetricsRegistry::global();
+  auto& epoch_hist = metrics.histogram("train.epoch_seconds");
+  auto& epoch_counter = metrics.counter("train.epochs");
+  Timer train_timer;
   Adam optimizer(options.learning_rate, 0.9, 0.999, 1e-8, options.weight_decay);
   Rng rng(options.seed);
   auto params = model.parameters();
@@ -29,7 +35,10 @@ TrainReport train_gnn(GnnRegressor& model, const std::vector<GraphSample>& train
   double best_loss = std::numeric_limits<double>::infinity();
   std::size_t stale = 0;
 
+  double last_grad_norm = 0.0;
   for (std::size_t epoch = 0; epoch < options.max_epochs; ++epoch) {
+    telemetry::TraceSpan epoch_span("train_gnn/epoch");
+    Timer epoch_timer;
     rng.shuffle(order);
     double epoch_loss = 0.0;
     for (std::size_t start = 0; start < order.size(); start += options.batch_size) {
@@ -50,6 +59,7 @@ TrainReport train_gnn(GnnRegressor& model, const std::vector<GraphSample>& train
           norm2 += n * n;
         }
         const double norm = std::sqrt(norm2);
+        last_grad_norm = norm;
         if (norm > options.max_grad_norm) {
           const double scale = options.max_grad_norm / norm;
           for (auto* g : grads) *g *= scale;
@@ -59,9 +69,24 @@ TrainReport train_gnn(GnnRegressor& model, const std::vector<GraphSample>& train
     }
     epoch_loss /= static_cast<double>(train.size());
     report.epoch_losses.push_back(epoch_loss);
+    report.epoch_seconds.push_back(epoch_timer.seconds());
     ++report.epochs_run;
+
+    epoch_counter.add(1);
+    epoch_hist.observe(epoch_timer.seconds());
+    metrics.gauge("train.loss").set(epoch_loss);
+    metrics.gauge("train.grad_norm").set(last_grad_norm);
+    ICLOG(debug) << "epoch done" << telemetry::kv("epoch", epoch)
+                 << telemetry::kv("mse", epoch_loss)
+                 << telemetry::kv("grad_norm", last_grad_norm)
+                 << telemetry::kv("seconds", epoch_timer.seconds());
     if (options.verbose && epoch % 20 == 0) {
-      std::printf("  epoch %zu  train mse %.6f\n", epoch, epoch_loss);
+      // `verbose` is an explicit caller request: emit through the logger's
+      // sink unconditionally, regardless of the runtime level threshold.
+      telemetry::LogRecord(telemetry::Level::info, __FILE__, __LINE__)
+          << "epoch " << epoch << "  train mse " << epoch_loss
+          << telemetry::kv("grad_norm", last_grad_norm)
+          << telemetry::kv("epoch_s", epoch_timer.seconds());
     }
     if (epoch_loss < best_loss * (1.0 - options.tolerance)) {
       best_loss = epoch_loss;
@@ -71,6 +96,11 @@ TrainReport train_gnn(GnnRegressor& model, const std::vector<GraphSample>& train
     }
   }
   report.final_train_mse = report.epoch_losses.back();
+  report.wall_seconds = train_timer.seconds();
+  ICLOG(info) << "train_gnn finished"
+              << telemetry::kv("epochs", report.epochs_run)
+              << telemetry::kv("final_mse", report.final_train_mse)
+              << telemetry::kv("wall_s", report.wall_seconds);
   return report;
 }
 

@@ -1,0 +1,112 @@
+// Process-wide metrics: named counters, gauges, and fixed-bucket histograms.
+//
+//   auto& iters = MetricsRegistry::global().counter("sat_attack.iterations");
+//   iters.add(result.iterations);
+//
+// All instruments are lock-free after registration (plain atomics), safe to
+// update from any thread, and dumpable as one JSON document. Registration
+// returns stable references: instruments are never deallocated while the
+// process lives, so hot paths may cache `Counter&` across calls.
+//
+// These record *observability* data only — nothing in the library reads a
+// metric back to make a decision, so the deterministic effort counters and
+// results are untouched whether or not anyone ever dumps the registry.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ic::telemetry {
+
+/// Monotonically increasing count (events, iterations, conflicts...).
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-written scalar (loss, learning rate, queue depth...).
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram: bucket i counts observations ≤ bounds[i], with an
+/// implicit overflow bucket. Also tracks count/sum/min/max exactly.
+class Histogram {
+ public:
+  /// `bounds` must be strictly increasing and non-empty.
+  explicit Histogram(std::vector<double> bounds);
+
+  /// Geometric bucket bounds {start, start·factor, ...}, `count` of them.
+  /// The default spans 1µs–100s, a good fit for solve/epoch durations.
+  static std::vector<double> exponential_bounds(double start = 1e-6,
+                                                double factor = 10.0,
+                                                std::size_t count = 9);
+
+  void observe(double x);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// bounds().size() + 1 entries; the last is the overflow bucket.
+  std::vector<std::uint64_t> bucket_counts() const;
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  double min() const;
+  double max() const;
+  void reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{0.0};
+  std::atomic<double> max_{0.0};
+};
+
+/// Name → instrument map. One global instance serves the whole process; local
+/// registries are constructible for tests.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& global();
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Find-or-create by name. A name identifies exactly one instrument kind;
+  /// asking for an existing name as a different kind throws.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// `bounds` is used only on first creation (empty = exponential default).
+  Histogram& histogram(const std::string& name, std::vector<double> bounds = {});
+
+  /// One JSON object: {"counters":{...},"gauges":{...},"histograms":{...}}.
+  void write_json(std::ostream& os) const;
+  std::string to_json() const;
+
+  /// Zero every instrument (names stay registered; references stay valid).
+  void reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace ic::telemetry

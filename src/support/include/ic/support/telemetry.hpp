@@ -1,0 +1,24 @@
+// Umbrella header for the ic::telemetry subsystem — structured logging
+// (log.hpp), the metrics registry (metrics.hpp), and Chrome-trace spans
+// (trace.hpp) — plus the file-dump helpers shared by the CLI and benches.
+//
+// Environment variables honoured by the subsystem:
+//   IC_LOG_LEVEL       trace|debug|info|warn|error|off   (default: warn)
+//   ICNET_METRICS_OUT  path; benches snapshot the registry there on exit
+#pragma once
+
+#include <string>
+
+#include "ic/support/log.hpp"
+#include "ic/support/metrics.hpp"
+#include "ic/support/trace.hpp"
+
+namespace ic::telemetry {
+
+/// Write the global metrics registry as JSON to `path` (overwrites).
+void dump_metrics(const std::string& path);
+
+/// Write the global trace buffer as Chrome trace-event JSON to `path`.
+void dump_trace(const std::string& path);
+
+}  // namespace ic::telemetry

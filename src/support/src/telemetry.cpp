@@ -1,0 +1,21 @@
+#include "ic/support/telemetry.hpp"
+
+#include <fstream>
+
+#include "ic/support/assert.hpp"
+
+namespace ic::telemetry {
+
+void dump_metrics(const std::string& path) {
+  std::ofstream out(path);
+  IC_CHECK(out.good(), "dump_metrics: cannot open " << path);
+  MetricsRegistry::global().write_json(out);
+}
+
+void dump_trace(const std::string& path) {
+  std::ofstream out(path);
+  IC_CHECK(out.good(), "dump_trace: cannot open " << path);
+  TraceCollector::global().write_chrome_json(out);
+}
+
+}  // namespace ic::telemetry

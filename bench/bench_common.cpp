@@ -11,6 +11,7 @@
 #include "ic/nn/trainer.hpp"
 #include "ic/support/strings.hpp"
 #include "ic/support/telemetry.hpp"
+#include "ic/support/thread_pool.hpp"
 
 namespace icbench {
 
@@ -23,10 +24,13 @@ using ic::nn::Readout;
 namespace {
 
 /// Every bench binary passes through here (main_circuit or a measurement):
-/// register the exit-time ICNET_METRICS_OUT snapshot exactly once.
+/// register the exit-time ICNET_METRICS_OUT snapshot exactly once, and stamp
+/// the worker count into the snapshot so BENCH_*.json records how it was run.
 void ensure_flush_hook() {
   static const bool registered = [] {
     std::atexit(flush_bench_metrics);
+    ic::telemetry::MetricsRegistry::global().gauge("bench.jobs").set(
+        static_cast<double>(ic::support::ThreadPool::effective_jobs(0)));
     return true;
   }();
   (void)registered;

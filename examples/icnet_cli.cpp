@@ -17,8 +17,16 @@
 //   --metrics-out <file>  dump the metrics registry (counters, gauges,
 //                         histograms) as JSON when the command finishes
 //
+// Parallelism, accepted by every subcommand:
+//   --jobs N              worker threads for the parallel loops (dataset
+//                         labeling, minibatch training, large mat-muls).
+//                         Equivalent to IC_JOBS=N for this invocation and
+//                         overrides it. Results are bit-identical at any N
+//                         (DESIGN.md §8); default is serial.
+//
 // Exit code 0 on success; errors go to stderr.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <map>
 #include <string>
@@ -33,6 +41,7 @@
 #include "ic/locking/xor_lock.hpp"
 #include "ic/support/strings.hpp"
 #include "ic/support/telemetry.hpp"
+#include "ic/support/thread_pool.hpp"
 
 namespace {
 
@@ -146,6 +155,7 @@ int cmd_dataset(const Args& a) {
   options.max_gates = std::stoul(opt(a, "max", "16"));
   options.attack.max_conflicts = 50000;
   options.seed = std::stoull(opt(a, "seed", "1"));
+  options.jobs = ic::support::ThreadPool::effective_jobs(0);
   const auto ds = ic::data::generate_dataset(circuit, options);
   ic::data::save_dataset(ds, a.positional[1]);
   std::printf("wrote %zu labeled instances to %s\n", ds.instances.size(),
@@ -160,6 +170,7 @@ int cmd_train(const Args& a) {
   const auto ds = ic::data::load_dataset(circuit, a.positional[1]);
   ic::core::EstimatorOptions options;
   options.train.max_epochs = std::stoul(opt(a, "epochs", "400"));
+  options.train.jobs = ic::support::ThreadPool::effective_jobs(0);
   ic::core::RuntimeEstimator estimator(options);
   const auto report = estimator.fit(ds);
   estimator.save(a.positional[2]);
@@ -189,7 +200,7 @@ int cmd_predict(const Args& a) {
 void usage() {
   std::fprintf(stderr,
                "usage: icnet_cli <lock|attack|dataset|train|predict> ...\n"
-               "       [--log-level L] [--trace-out F] [--metrics-out F]\n"
+               "       [--jobs N] [--log-level L] [--trace-out F] [--metrics-out F]\n"
                "see the header of examples/icnet_cli.cpp for details\n");
 }
 
@@ -227,6 +238,13 @@ int main(int argc, char** argv) {
     metrics_out = take_opt(args, "metrics-out");
     if (!trace_out.empty()) {
       ic::telemetry::TraceCollector::global().set_enabled(true);
+    }
+    const std::string jobs = take_opt(args, "jobs");
+    if (!jobs.empty()) {
+      IC_CHECK(std::stoul(jobs) > 0, "--jobs must be >= 1");
+      // Publishing through IC_JOBS (before any pool exists) makes one flag
+      // reach every jobs=0 option and the global kernel pool alike.
+      setenv("IC_JOBS", jobs.c_str(), 1);
     }
     const int rc = dispatch(cmd, args);
     flush_telemetry();

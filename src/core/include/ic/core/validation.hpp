@@ -19,10 +19,15 @@ struct CrossValidationReport {
 /// k-fold cross-validation of an estimator configuration on a dataset.
 /// Folds are a deterministic shuffle of the instances; each fold trains a
 /// fresh estimator on the remaining folds and evaluates on the held-out one.
+/// `jobs` runs folds concurrently, one fold per task (0 = IC_JOBS, unset =
+/// serial); every fold is self-contained and seeded from `options`, so the
+/// report is bit-identical at any jobs value. Note the trainer has its own
+/// `options.train.jobs` knob — nested parallelism multiplies thread counts.
 CrossValidationReport cross_validate(const EstimatorOptions& options,
                                      const data::Dataset& dataset,
                                      std::size_t folds = 5,
-                                     std::uint64_t seed = 1);
+                                     std::uint64_t seed = 1,
+                                     std::size_t jobs = 0);
 
 /// Bagging-by-seed ensemble of RuntimeEstimators. Member models share the
 /// architecture but differ in initialization and data order; the spread of

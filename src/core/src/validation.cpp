@@ -1,17 +1,20 @@
 #include "ic/core/validation.hpp"
 
 #include <cmath>
+#include <future>
 
 #include "ic/data/metrics.hpp"
 #include "ic/support/assert.hpp"
 #include "ic/support/rng.hpp"
 #include "ic/support/telemetry.hpp"
+#include "ic/support/thread_pool.hpp"
 
 namespace ic::core {
 
 CrossValidationReport cross_validate(const EstimatorOptions& options,
                                      const data::Dataset& dataset,
-                                     std::size_t folds, std::uint64_t seed) {
+                                     std::size_t folds, std::uint64_t seed,
+                                     std::size_t jobs) {
   IC_ASSERT(folds >= 2);
   const std::size_t n = dataset.instances.size();
   IC_CHECK(n >= folds, "cross_validate: " << n << " instances for " << folds
@@ -23,7 +26,12 @@ CrossValidationReport cross_validate(const EstimatorOptions& options,
 
   CrossValidationReport report;
   telemetry::TraceSpan cv_span("estimator/cross_validate");
-  for (std::size_t fold = 0; fold < folds; ++fold) {
+  report.fold_mse.resize(folds);
+
+  // One fold per task. Each fold builds its own train/test copy, trains a
+  // fresh estimator, and writes its MSE into its own slot, so execution
+  // order cannot affect the report.
+  auto run_fold = [&](std::size_t fold) {
     telemetry::TraceSpan fold_span("estimator/cv_fold");
     data::Dataset train_ds, test_ds;
     train_ds.circuit = dataset.circuit;
@@ -34,7 +42,21 @@ CrossValidationReport cross_validate(const EstimatorOptions& options,
     }
     RuntimeEstimator estimator(options);
     estimator.fit(train_ds);
-    report.fold_mse.push_back(estimator.evaluate(test_ds));
+    report.fold_mse[fold] = estimator.evaluate(test_ds);
+  };
+
+  const std::size_t fold_jobs =
+      std::min(support::ThreadPool::effective_jobs(jobs), folds);
+  if (fold_jobs <= 1) {
+    for (std::size_t fold = 0; fold < folds; ++fold) run_fold(fold);
+  } else {
+    support::ThreadPool pool(fold_jobs);
+    std::vector<std::future<void>> pending;
+    pending.reserve(folds);
+    for (std::size_t fold = 0; fold < folds; ++fold) {
+      pending.push_back(pool.submit([&run_fold, fold] { run_fold(fold); }));
+    }
+    for (auto& f : pending) f.get();
   }
 
   for (double v : report.fold_mse) report.mean_mse += v;

@@ -46,6 +46,11 @@ struct DatasetOptions {
   /// Label with measured wall time instead of the deterministic cost model.
   bool use_wall_time = false;
   std::uint64_t seed = 1;
+  /// SAT-attack labeling workers: one attack per task. 0 defers to the
+  /// IC_JOBS environment variable (unset = serial). Instances are
+  /// bit-identical at every jobs value: each instance's randomness comes from
+  /// derive_seed(seed, index), not from a shared sequential stream.
+  std::size_t jobs = 0;
 };
 
 struct Dataset {

@@ -1,12 +1,14 @@
 #include "ic/data/dataset.hpp"
 
 #include <cmath>
+#include <future>
 
 #include "ic/attack/oracle.hpp"
 #include "ic/graph/structure.hpp"
 #include "ic/support/assert.hpp"
 #include "ic/support/rng.hpp"
 #include "ic/support/telemetry.hpp"
+#include "ic/support/thread_pool.hpp"
 
 namespace ic::data {
 
@@ -27,7 +29,6 @@ Dataset generate_dataset(const Netlist& circuit, const DatasetOptions& options) 
   IC_ASSERT(options.min_gates >= 1 && options.min_gates <= options.max_gates);
   Dataset ds;
   ds.circuit = std::make_shared<const Netlist>(circuit);
-  Rng rng(options.seed);
 
   const std::size_t lockable = locking::lockable_gates(circuit).size();
   const std::size_t max_gates = std::min(options.max_gates, lockable);
@@ -37,38 +38,73 @@ Dataset generate_dataset(const Netlist& circuit, const DatasetOptions& options) 
 
   telemetry::TraceSpan gen_span("dataset/generate");
   auto& metrics = telemetry::MetricsRegistry::global();
-  attack::NetlistOracle oracle(circuit);
-  for (std::size_t i = 0; i < options.num_instances; ++i) {
+  auto& instance_counter = metrics.counter("dataset.instances");
+  auto& label_hist = metrics.histogram("dataset.label_seconds");
+
+  // One attack per task. Every instance draws from its own Rng seeded by
+  // (options.seed, i), so the result is bit-identical at any jobs value —
+  // the loop below and the thread pool produce the same instances in the
+  // same slots. Each task owns a private oracle: NetlistOracle mutates
+  // simulator state and a query counter, so it cannot be shared.
+  auto label_instance = [&](std::size_t i) -> Instance {
     telemetry::TraceSpan inst_span("dataset/instance");
+    Rng inst_rng(derive_seed(options.seed, i));
     Instance inst;
     const std::size_t k = static_cast<std::size_t>(
-        rng.uniform_int(static_cast<std::int64_t>(options.min_gates),
-                        static_cast<std::int64_t>(max_gates)));
-    inst.selection = locking::select_gates(circuit, k, options.policy, rng.fork());
+        inst_rng.uniform_int(static_cast<std::int64_t>(options.min_gates),
+                             static_cast<std::int64_t>(max_gates)));
+    inst.selection =
+        locking::select_gates(circuit, k, options.policy, inst_rng.fork());
 
     circuit::Netlist locked;
     if (options.scheme == ObfuscationScheme::Lut) {
       locking::LutLockOptions lut = options.lut;
-      lut.seed = rng.fork();
+      lut.seed = inst_rng.fork();
       locked = locking::lut_lock(circuit, inst.selection, lut).locked;
     } else {
       locking::XorLockOptions xl = options.xor_lock;
-      xl.seed = rng.fork();
+      xl.seed = inst_rng.fork();
       locked = locking::xor_lock(circuit, inst.selection, xl).locked;
     }
 
+    attack::NetlistOracle oracle(circuit);
     inst.attack = attack::sat_attack(locked, oracle, options.attack);
     inst.runtime_seconds = options.use_wall_time ? inst.attack.wall_seconds
                                                  : inst.attack.estimated_seconds();
-    metrics.counter("dataset.instances").add(1);
-    metrics.histogram("dataset.label_seconds").observe(inst.runtime_seconds);
+    instance_counter.add(1);
+    label_hist.observe(inst.runtime_seconds);
+    // Emitted from the labeling task itself with the instance index, so
+    // interleaved lines from concurrent workers stay attributable.
     ICLOG(debug) << "labeled instance" << telemetry::kv("index", i)
                  << telemetry::kv("gates", inst.selection.size())
                  << telemetry::kv("runtime_s", inst.runtime_seconds);
-    ds.instances.push_back(std::move(inst));
+    return inst;
+  };
+
+  ds.instances.resize(options.num_instances);
+  const std::size_t jobs = std::min(
+      support::ThreadPool::effective_jobs(options.jobs),
+      std::max<std::size_t>(options.num_instances, 1));
+  if (jobs <= 1) {
+    for (std::size_t i = 0; i < options.num_instances; ++i) {
+      ds.instances[i] = label_instance(i);
+    }
+  } else {
+    // Submit one task per instance (not a chunked parallel_for): attack cost
+    // varies by orders of magnitude across instances, so dynamic dispatch is
+    // what makes labeling scale ~linearly.
+    support::ThreadPool pool(jobs);
+    std::vector<std::future<void>> pending;
+    pending.reserve(options.num_instances);
+    for (std::size_t i = 0; i < options.num_instances; ++i) {
+      pending.push_back(pool.submit(
+          [&, i] { ds.instances[i] = label_instance(i); }));
+    }
+    for (auto& f : pending) f.get();
   }
   ICLOG(info) << "dataset generated"
-              << telemetry::kv("instances", ds.instances.size());
+              << telemetry::kv("instances", ds.instances.size())
+              << telemetry::kv("jobs", jobs);
   return ds;
 }
 

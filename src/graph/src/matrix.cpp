@@ -1,6 +1,9 @@
 #include "ic/graph/matrix.hpp"
 
+#include <algorithm>
 #include <cmath>
+
+#include "ic/support/thread_pool.hpp"
 
 namespace ic::graph {
 
@@ -76,20 +79,46 @@ Matrix Matrix::apply(const std::function<double(double)>& fn) const {
   return out;
 }
 
+namespace {
+
+/// Flop threshold below which threading a matmul costs more than it saves.
+constexpr std::size_t kParallelMatmulFlops = std::size_t{1} << 17;
+
+}  // namespace
+
 Matrix Matrix::matmul(const Matrix& other) const {
   IC_ASSERT_MSG(cols_ == other.rows_, "matmul shape mismatch: (" << rows_ << 'x'
                                       << cols_ << ") * (" << other.rows_ << 'x'
                                       << other.cols_ << ')');
   Matrix out(rows_, other.cols_);
   // i-k-j loop order keeps the inner loop contiguous in both operands.
-  for (std::size_t i = 0; i < rows_; ++i) {
-    for (std::size_t k = 0; k < cols_; ++k) {
-      const double aik = data_[i * cols_ + k];
-      if (aik == 0.0) continue;
-      const double* brow = other.data_.data() + k * other.cols_;
-      double* orow = out.data_.data() + i * other.cols_;
-      for (std::size_t j = 0; j < other.cols_; ++j) orow[j] += aik * brow[j];
+  auto row_range = [&](std::size_t row_begin, std::size_t row_end) {
+    for (std::size_t i = row_begin; i < row_end; ++i) {
+      for (std::size_t k = 0; k < cols_; ++k) {
+        const double aik = data_[i * cols_ + k];
+        if (aik == 0.0) continue;
+        const double* brow = other.data_.data() + k * other.cols_;
+        double* orow = out.data_.data() + i * other.cols_;
+        for (std::size_t j = 0; j < other.cols_; ++j) orow[j] += aik * brow[j];
+      }
     }
+  };
+
+  // Large products split by output row across the global pool (sized by
+  // IC_JOBS; 1 worker when unset, which keeps this branch cold). Every
+  // output row is written by exactly one task and reads only shared inputs,
+  // so the result is bit-identical to the serial loop for any worker count.
+  auto& pool = support::ThreadPool::global();
+  if (pool.worker_count() > 1 &&
+      rows_ * cols_ * other.cols_ >= kParallelMatmulFlops && rows_ > 1) {
+    const std::size_t executors = std::min(pool.worker_count() + 1, rows_);
+    const std::size_t chunk = (rows_ + executors - 1) / executors;
+    pool.parallel_for(0, executors, [&](std::size_t e, std::size_t) {
+      const std::size_t lo = e * chunk;
+      row_range(lo, std::min(rows_, lo + chunk));
+    });
+  } else {
+    row_range(0, rows_);
   }
   return out;
 }

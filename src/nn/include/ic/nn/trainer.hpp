@@ -35,6 +35,13 @@ struct TrainOptions {
   double weight_decay = 1e-4;
   std::uint64_t seed = 7;
   bool verbose = false;
+  /// Per-graph forward/backward workers within a minibatch (0 = IC_JOBS,
+  /// unset = serial). Each sample's gradient contribution is computed in a
+  /// per-sample buffer and reduced on the calling thread in sample order —
+  /// the exact additions the serial loop performs — so training is
+  /// bit-identical at any jobs value. Scaling is sublinear: the optimizer
+  /// step and the reduction stay serial (Amdahl).
+  std::size_t jobs = 0;
 };
 
 struct TrainReport {

@@ -2,11 +2,13 @@
 
 #include <cmath>
 #include <limits>
+#include <memory>
 #include <numeric>
 
 #include "ic/nn/optimizer.hpp"
 #include "ic/support/rng.hpp"
 #include "ic/support/telemetry.hpp"
+#include "ic/support/thread_pool.hpp"
 #include "ic/support/timer.hpp"
 
 namespace ic::nn {
@@ -35,6 +37,22 @@ TrainReport train_gnn(GnnRegressor& model, const std::vector<GraphSample>& train
   double best_loss = std::numeric_limits<double>::infinity();
   std::size_t stale = 0;
 
+  // Minibatch data parallelism. Each executor owns a clone of the model
+  // (forward/backward mutate layer caches, so the model itself cannot be
+  // shared); before every batch the clones resync parameters from the
+  // optimizer's master copy. Each sample's gradient lands in its own buffer,
+  // and the reduction below adds them back in sample order — the exact
+  // floating-point additions of the serial loop, because one backward()
+  // accumulates each parameter gradient with exactly one `+=` of an
+  // independently computed term. Hence: bit-identical at any jobs value.
+  const std::size_t jobs = support::ThreadPool::effective_jobs(options.jobs);
+  std::unique_ptr<support::ThreadPool> pool;
+  std::vector<GnnRegressor> clones;
+  if (jobs > 1) {
+    pool = std::make_unique<support::ThreadPool>(jobs - 1);
+    clones.assign(pool->worker_count() + 1, model);
+  }
+
   double last_grad_norm = 0.0;
   for (std::size_t epoch = 0; epoch < options.max_epochs; ++epoch) {
     telemetry::TraceSpan epoch_span("train_gnn/epoch");
@@ -44,13 +62,43 @@ TrainReport train_gnn(GnnRegressor& model, const std::vector<GraphSample>& train
     for (std::size_t start = 0; start < order.size(); start += options.batch_size) {
       const std::size_t end = std::min(order.size(), start + options.batch_size);
       model.zero_grad();
-      for (std::size_t i = start; i < end; ++i) {
-        const GraphSample& sample = train[order[i]];
-        const double pred = model.forward(*sample.structure, sample.features);
-        const double residual = pred - sample.target;
-        epoch_loss += residual * residual;
-        // d/dpred of (pred − y)² averaged over the batch.
-        model.backward(2.0 * residual / static_cast<double>(end - start));
+      if (pool == nullptr) {
+        for (std::size_t i = start; i < end; ++i) {
+          const GraphSample& sample = train[order[i]];
+          const double pred = model.forward(*sample.structure, sample.features);
+          const double residual = pred - sample.target;
+          epoch_loss += residual * residual;
+          // d/dpred of (pred − y)² averaged over the batch.
+          model.backward(2.0 * residual / static_cast<double>(end - start));
+        }
+      } else {
+        const std::size_t bn = end - start;
+        for (GnnRegressor& clone : clones) {
+          auto dst = clone.parameters();
+          const auto src = model.parameters();
+          for (std::size_t k = 0; k < src.size(); ++k) *dst[k] = *src[k];
+        }
+        std::vector<double> losses(bn);
+        std::vector<std::vector<graph::Matrix>> sample_grads(bn);
+        pool->parallel_for(0, bn, [&](std::size_t b, std::size_t executor) {
+          GnnRegressor& local = clones[executor];
+          local.zero_grad();
+          const GraphSample& sample = train[order[start + b]];
+          const double pred = local.forward(*sample.structure, sample.features);
+          const double residual = pred - sample.target;
+          losses[b] = residual * residual;
+          local.backward(2.0 * residual / static_cast<double>(bn));
+          const auto g = local.gradients();
+          sample_grads[b].reserve(g.size());
+          for (const auto* m : g) sample_grads[b].push_back(*m);
+        });
+        const auto grad_sinks = model.gradients();
+        for (std::size_t b = 0; b < bn; ++b) {
+          epoch_loss += losses[b];
+          for (std::size_t k = 0; k < grad_sinks.size(); ++k) {
+            *grad_sinks[k] += sample_grads[b][k];
+          }
+        }
       }
       if (options.max_grad_norm > 0.0) {
         double norm2 = 0.0;

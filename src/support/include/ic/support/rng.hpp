@@ -65,6 +65,19 @@ class Rng {
   std::mt19937_64 engine_;
 };
 
+/// Mix (base seed, stream index) into an independent child seed, SplitMix64
+/// style. This is how parallel loops stay reproducible: instead of drawing
+/// per-item seeds from one sequential stream (whose state depends on how many
+/// items came before), each item derives its seed from its *index*, so item i
+/// gets the same stream no matter which thread labels it or in what order
+/// (DESIGN.md §8).
+inline std::uint64_t derive_seed(std::uint64_t base, std::uint64_t index) {
+  std::uint64_t z = base + 0x9E3779B97F4A7C15ull * (index + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
 inline std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n,
                                                                 std::size_t k) {
   IC_ASSERT(k <= n);

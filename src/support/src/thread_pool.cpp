@@ -1,0 +1,143 @@
+#include "ic/support/thread_pool.hpp"
+
+#include <cstdlib>
+#include <exception>
+#include <string>
+
+#include "ic/support/assert.hpp"
+#include "ic/support/metrics.hpp"
+#include "ic/support/trace.hpp"
+
+namespace ic::support {
+
+namespace {
+
+// Which pool (if any) owns the current thread, and its worker id there.
+// parallel_for uses this to detect same-pool reentrancy: a worker that
+// blocked on chunks queued behind other blocked workers would deadlock, so
+// reentrant calls run inline instead.
+thread_local const ThreadPool* tls_pool = nullptr;
+thread_local std::size_t tls_worker_id = 0;
+
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t workers)
+    : tasks_total_(telemetry::MetricsRegistry::global().counter("pool.tasks")),
+      queue_depth_(
+          telemetry::MetricsRegistry::global().gauge("pool.queue_depth")) {
+  IC_ASSERT(workers >= 1);
+  workers_.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    workers_.emplace_back([this, w] { worker_loop(w); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool(effective_jobs(0));
+  return pool;
+}
+
+std::size_t ThreadPool::effective_jobs(std::size_t requested) {
+  if (requested > 0) return requested;
+  const char* env = std::getenv("IC_JOBS");
+  if (env != nullptr && *env != '\0') {
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(env, &end, 10);
+    if (end != env && *end == '\0' && v > 0) {
+      return static_cast<std::size_t>(v);
+    }
+  }
+  return 1;
+}
+
+void ThreadPool::enqueue(Task task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    IC_ASSERT_MSG(!stop_, "ThreadPool::enqueue after shutdown");
+    queue_.push_back(std::move(task));
+    tasks_total_.add(1);
+    queue_depth_.set(static_cast<double>(queue_.size()));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::worker_loop(std::size_t worker_id) {
+  tls_pool = this;
+  tls_worker_id = worker_id;
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      // Drain remaining tasks before honouring stop_: a destructor-initiated
+      // shutdown must complete everything already promised to a future.
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      queue_depth_.set(static_cast<double>(queue_.size()));
+    }
+    telemetry::TraceSpan span("pool/task");
+    task(worker_id);
+  }
+}
+
+void ThreadPool::parallel_for(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  if (begin >= end) return;
+  if (tls_pool == this) {
+    // Reentrant call from one of our own workers: run inline under this
+    // thread's usual executor id rather than risk a queue-wait deadlock.
+    for (std::size_t i = begin; i < end; ++i) body(i, 1 + tls_worker_id);
+    return;
+  }
+  const std::size_t n = end - begin;
+  // Static chunking: one contiguous chunk per executor (caller + workers).
+  const std::size_t executors = std::min(worker_count() + 1, n);
+  const std::size_t chunk = (n + executors - 1) / executors;
+
+  std::vector<std::future<void>> pending;
+  pending.reserve(executors - 1);
+  for (std::size_t e = 1; e < executors; ++e) {
+    const std::size_t lo = begin + e * chunk;
+    const std::size_t hi = std::min(end, lo + chunk);
+    if (lo >= hi) break;
+    // Workers report their dense executor id as 1 + worker_id; with chunked
+    // submission each chunk runs on exactly one thread, so per-executor
+    // scratch state is never shared.
+    auto chunk_task = std::make_shared<std::packaged_task<void(std::size_t)>>(
+        [&body, lo, hi](std::size_t worker_id) {
+          for (std::size_t i = lo; i < hi; ++i) body(i, 1 + worker_id);
+        });
+    pending.push_back(chunk_task->get_future());
+    enqueue([chunk_task](std::size_t worker_id) { (*chunk_task)(worker_id); });
+  }
+
+  // The caller is executor 0 and always takes the first chunk.
+  std::exception_ptr first_error;
+  try {
+    const std::size_t hi = std::min(end, begin + chunk);
+    for (std::size_t i = begin; i < hi; ++i) body(i, 0);
+  } catch (...) {
+    first_error = std::current_exception();
+  }
+  for (auto& f : pending) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace ic::support

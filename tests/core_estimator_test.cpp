@@ -55,7 +55,6 @@ data::Dataset* EstimatorEndToEnd::dataset_ = nullptr;
 TEST_F(EstimatorEndToEnd, FitPredictsBetterThanConstantBaseline) {
   EstimatorOptions opt;
   opt.train.max_epochs = 150;
-  opt.train.learning_rate = 0.02;
   RuntimeEstimator estimator(opt);
   EXPECT_FALSE(estimator.is_fitted());
   const auto report = estimator.fit(*dataset_);
@@ -185,6 +184,21 @@ TEST_F(EstimatorEndToEnd, CrossValidationProducesFiniteFolds) {
   }
   EXPECT_GT(report.mean_mse, 0.0);
   EXPECT_GE(report.stddev_mse, 0.0);
+}
+
+TEST_F(EstimatorEndToEnd, CrossValidationIsBitIdenticalAtAnyJobs) {
+  // One fold per task, each fold self-contained and seeded from the options:
+  // the fold MSEs must not change by a single bit when folds run in parallel.
+  EstimatorOptions opt;
+  opt.train.max_epochs = 25;
+  const auto serial = cross_validate(opt, *dataset_, 4, 9, /*jobs=*/1);
+  const auto parallel = cross_validate(opt, *dataset_, 4, 9, /*jobs=*/4);
+  ASSERT_EQ(serial.fold_mse.size(), parallel.fold_mse.size());
+  for (std::size_t f = 0; f < serial.fold_mse.size(); ++f) {
+    EXPECT_EQ(serial.fold_mse[f], parallel.fold_mse[f]) << "fold " << f;
+  }
+  EXPECT_EQ(serial.mean_mse, parallel.mean_mse);
+  EXPECT_EQ(serial.stddev_mse, parallel.stddev_mse);
 }
 
 TEST(CrossValidate, RejectsTooFewInstances) {

@@ -258,6 +258,49 @@ TEST(Dataset, RuntimeGrowsWithKeyCountOnAverage) {
 namespace ic::data {
 namespace {
 
+TEST(Dataset, ParallelLabelingIsBitIdenticalToSerial) {
+  // The determinism contract (DESIGN.md §8): per-instance seeds are derived
+  // from (seed, index), so the worker count cannot change a single bit of
+  // the dataset — same selections, same keys, same labels.
+  circuit::GeneratorSpec spec;
+  spec.num_inputs = 10;
+  spec.num_outputs = 5;
+  spec.num_gates = 48;
+  spec.seed = 21;
+  const circuit::Netlist nl = circuit::generate_circuit(spec, "par_ds");
+  DatasetOptions opt;
+  opt.num_instances = 10;
+  opt.min_gates = 1;
+  opt.max_gates = 6;
+  opt.attack.max_conflicts = 20000;
+  opt.seed = 3;
+  opt.jobs = 1;
+  const Dataset serial = generate_dataset(nl, opt);
+  opt.jobs = 4;
+  const Dataset parallel = generate_dataset(nl, opt);
+
+  ASSERT_EQ(serial.instances.size(), parallel.instances.size());
+  for (std::size_t i = 0; i < serial.instances.size(); ++i) {
+    const auto& a = serial.instances[i];
+    const auto& b = parallel.instances[i];
+    EXPECT_EQ(a.selection, b.selection) << "instance " << i;
+    EXPECT_EQ(a.runtime_seconds, b.runtime_seconds) << "instance " << i;
+    EXPECT_EQ(a.attack.key, b.attack.key) << "instance " << i;
+    EXPECT_EQ(a.attack.iterations, b.attack.iterations) << "instance " << i;
+    EXPECT_EQ(a.attack.conflicts, b.attack.conflicts) << "instance " << i;
+  }
+  // And the same again via the IC_JOBS environment path (jobs = 0).
+  setenv("IC_JOBS", "3", 1);
+  opt.jobs = 0;
+  const Dataset env_jobs = generate_dataset(nl, opt);
+  unsetenv("IC_JOBS");
+  for (std::size_t i = 0; i < serial.instances.size(); ++i) {
+    EXPECT_EQ(serial.instances[i].selection, env_jobs.instances[i].selection);
+    EXPECT_EQ(serial.instances[i].runtime_seconds,
+              env_jobs.instances[i].runtime_seconds);
+  }
+}
+
 TEST(Dataset, XorSchemeAlsoLabels) {
   circuit::GeneratorSpec spec;
   spec.num_inputs = 10;

@@ -120,6 +120,40 @@ TEST(Training, DeterministicGivenSeeds) {
   EXPECT_DOUBLE_EQ(evaluate_mse(m1, samples), evaluate_mse(m2, samples));
 }
 
+TEST(Training, ParallelMinibatchIsBitIdenticalToSerial) {
+  // Per-sample gradient buffers are reduced on the calling thread in sample
+  // order — the exact additions the serial loop performs — so the whole
+  // training trajectory matches bit for bit at any jobs value.
+  const auto samples = synthetic_samples(40, 17);
+  GnnConfig cfg;
+  cfg.in_features = 2;
+  cfg.hidden = {8, 4};
+  cfg.readout = Readout::Attention;
+  cfg.seed = 3;
+  TrainOptions opt;
+  opt.max_epochs = 30;
+  opt.batch_size = 8;
+  opt.seed = 11;
+
+  GnnRegressor serial_model(cfg), parallel_model(cfg);
+  opt.jobs = 1;
+  const TrainReport serial = train_gnn(serial_model, samples, opt);
+  opt.jobs = 4;
+  const TrainReport parallel = train_gnn(parallel_model, samples, opt);
+
+  ASSERT_EQ(serial.epochs_run, parallel.epochs_run);
+  ASSERT_EQ(serial.epoch_losses.size(), parallel.epoch_losses.size());
+  for (std::size_t e = 0; e < serial.epoch_losses.size(); ++e) {
+    EXPECT_EQ(serial.epoch_losses[e], parallel.epoch_losses[e])
+        << "epoch " << e;
+  }
+  const auto p_serial = predict_all(serial_model, samples);
+  const auto p_parallel = predict_all(parallel_model, samples);
+  for (std::size_t i = 0; i < p_serial.size(); ++i) {
+    EXPECT_EQ(p_serial[i], p_parallel[i]) << "sample " << i;
+  }
+}
+
 TEST(Adam, ConvergesOnQuadraticBowl) {
   // Minimize ||p - t||² for a 2×2 parameter.
   Matrix p(2, 2, 1.0);

@@ -8,6 +8,16 @@
 //                     [--min K] [--max K] [--seed S]
 //   icnet_cli train   <circuit.bench> <in.dataset> <out.model>
 //   icnet_cli predict <circuit.bench> <in.model> --select "12,57,101"
+//                     [--select-file F]   one "id,id,..." selection per line,
+//                                         one prediction per output line
+//   icnet_cli serve   <circuit.bench> <model> --port P [--host H]
+//                     [--max-queue N] [--batch B] [--timeout-ms T]
+//                     [--reload-ms R]
+//   icnet_cli query   --port P [--host H] --select "12,57,101"
+//                     [--op predict|ping|stats|shutdown] [--model M]
+//                     [--circuit C] [--timeout-ms T]
+//   icnet_cli gen     <out.bench> [--gates N] [--inputs N] [--outputs N]
+//                     [--seed S]
 //
 // Telemetry flags, accepted by every subcommand:
 //   --log-level trace|debug|info|warn|error|off   runtime log threshold
@@ -24,21 +34,27 @@
 //                         overrides it. Results are bit-identical at any N
 //                         (DESIGN.md §8); default is serial.
 //
-// Exit code 0 on success; errors go to stderr.
+// Exit code 0 on success, 1 on runtime errors, 2 on usage errors (unknown
+// subcommand, malformed flags); errors go to stderr.
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <map>
+#include <stdexcept>
 #include <string>
 
 #include "ic/attack/sat_attack.hpp"
 #include "ic/circuit/bench_io.hpp"
+#include "ic/circuit/generator.hpp"
 #include "ic/core/estimator.hpp"
 #include "ic/data/dataset_io.hpp"
 #include "ic/locking/anti_sat.hpp"
 #include "ic/locking/lut_lock.hpp"
 #include "ic/locking/policy.hpp"
 #include "ic/locking/xor_lock.hpp"
+#include "ic/serve/serve.hpp"
 #include "ic/support/strings.hpp"
 #include "ic/support/telemetry.hpp"
 #include "ic/support/thread_pool.hpp"
@@ -50,17 +66,21 @@ struct Args {
   std::map<std::string, std::string> options;
 };
 
+/// Malformed command line — exits with status 2, unlike runtime failures (1).
+struct UsageError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
 Args parse_args(int argc, char** argv, int skip) {
   Args args;
   for (int i = skip; i < argc; ++i) {
     const std::string a = argv[i];
     if (a.rfind("--", 0) == 0) {
       const std::string key = a.substr(2);
-      if (i + 1 < argc) {
-        args.options[key] = argv[++i];
-      } else {
-        ic::input_error("option --" + key + " needs a value");
+      if (i + 1 >= argc) {
+        throw UsageError("option --" + key + " needs a value");
       }
+      args.options[key] = argv[++i];
     } else {
       args.positional.push_back(a);
     }
@@ -80,6 +100,20 @@ std::string take_opt(Args& a, const std::string& key) {
   std::string value = it->second;
   a.options.erase(it);
   return value;
+}
+
+int cmd_gen(const Args& a) {
+  IC_CHECK(a.positional.size() == 1, "gen needs <out.bench>");
+  ic::circuit::GeneratorSpec spec;
+  spec.num_gates = std::stoul(opt(a, "gates", "256"));
+  spec.num_inputs = std::stoul(opt(a, "inputs", "32"));
+  spec.num_outputs = std::stoul(opt(a, "outputs", "16"));
+  spec.seed = std::stoull(opt(a, "seed", "1"));
+  const auto circuit = ic::circuit::generate_circuit(spec);
+  ic::circuit::write_bench_file(circuit, a.positional[0]);
+  std::printf("wrote %zu-gate circuit to %s\n", spec.num_gates,
+              a.positional[0].c_str());
+  return 0;
 }
 
 int cmd_lock(const Args& a) {
@@ -179,27 +213,157 @@ int cmd_train(const Args& a) {
   return 0;
 }
 
+std::vector<ic::circuit::GateId> parse_selection(const std::string& text) {
+  std::vector<ic::circuit::GateId> selection;
+  for (const auto& tok : ic::split(text, ", ")) {
+    selection.push_back(static_cast<ic::circuit::GateId>(std::stoul(tok)));
+  }
+  return selection;
+}
+
+/// Bad gate ids are a user mistake, not a contract violation: reject them
+/// here with the same wording the serving engine uses.
+void check_selection(const std::vector<ic::circuit::GateId>& selection,
+                     const ic::circuit::Netlist& circuit) {
+  for (const auto id : selection) {
+    IC_CHECK(id < circuit.size(), "gate id " << id << " out of range (circuit has "
+                                             << circuit.size() << " gates)");
+  }
+}
+
+/// v2 model files rebuild the estimator from their header; v1 files can only
+/// be read into the historical default architecture.
+ic::core::RuntimeEstimator open_estimator(const std::string& path) {
+  if (ic::core::read_model_spec(path).version >= 2) {
+    return ic::core::RuntimeEstimator::from_file(path);
+  }
+  ic::core::RuntimeEstimator estimator;
+  estimator.load(path);
+  return estimator;
+}
+
 int cmd_predict(const Args& a) {
   IC_CHECK(a.positional.size() == 2, "predict needs <circuit.bench> <in.model>");
   const auto circuit = ic::circuit::read_bench_file(a.positional[0]);
-  ic::core::EstimatorOptions options;
-  ic::core::RuntimeEstimator estimator(options);
-  estimator.load(a.positional[1]);
+  auto estimator = open_estimator(a.positional[1]);
   estimator.set_circuit(circuit);
-  std::vector<ic::circuit::GateId> selection;
-  for (const auto& tok : ic::split(opt(a, "select", ""), ", ")) {
-    selection.push_back(static_cast<ic::circuit::GateId>(std::stoul(tok)));
+
+  const std::string select = opt(a, "select", "");
+  const std::string select_file = opt(a, "select-file", "");
+  IC_CHECK(select.empty() || select_file.empty(),
+           "--select and --select-file are mutually exclusive");
+  if (!select_file.empty()) {
+    std::ifstream in(select_file);
+    IC_CHECK(in.good(), "cannot open selection file '" << select_file << "'");
+    std::string line;
+    std::size_t line_no = 0;
+    while (std::getline(in, line)) {
+      ++line_no;
+      if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+      const auto selection = parse_selection(line);
+      IC_CHECK(!selection.empty(),
+               "selection file line " << line_no << " has no gate ids");
+      check_selection(selection, circuit);
+      std::printf("%.6f\n", estimator.predict_seconds(selection));
+    }
+    return 0;
   }
-  IC_CHECK(!selection.empty(), "predict needs --select \"id,id,...\"");
+  const auto selection = parse_selection(select);
+  IC_CHECK(!selection.empty(),
+           "predict needs --select \"id,id,...\" or --select-file <path>");
+  check_selection(selection, circuit);
   std::printf("predicted de-obfuscation runtime: %.6f s (log-label %.4f)\n",
               estimator.predict_seconds(selection),
               estimator.predict_log_runtime(selection));
   return 0;
 }
 
+ic::serve::Server* g_server = nullptr;
+
+int cmd_serve(const Args& a) {
+  IC_CHECK(a.positional.size() == 2, "serve needs <circuit.bench> <model>");
+  const auto circuit = std::make_shared<const ic::circuit::Netlist>(
+      ic::circuit::read_bench_file(a.positional[0]));
+
+  ic::serve::ModelRegistry registry;
+  registry.load("default", a.positional[1]);
+
+  ic::serve::EngineOptions engine_options;
+  engine_options.max_queue = std::stoul(opt(a, "max-queue", "1024"));
+  engine_options.max_batch = std::stoul(opt(a, "batch", "32"));
+  engine_options.default_timeout_ms = std::stoll(opt(a, "timeout-ms", "-1"));
+  ic::serve::InferenceEngine engine(registry, engine_options);
+  engine.register_circuit("default", circuit);
+
+  ic::serve::ServerOptions server_options;
+  server_options.host = opt(a, "host", "127.0.0.1");
+  server_options.port = std::stoi(opt(a, "port", "0"));
+  server_options.reload_poll_ms = std::stoll(opt(a, "reload-ms", "1000"));
+  ic::serve::Server server(engine, registry, server_options);
+  server.start();
+  std::printf("serving %s with model %s on %s:%d\n", a.positional[0].c_str(),
+              a.positional[1].c_str(), server_options.host.c_str(),
+              server.port());
+  std::fflush(stdout);
+
+  g_server = &server;
+  std::signal(SIGINT, [](int) {
+    if (g_server != nullptr) g_server->request_shutdown();
+  });
+  std::signal(SIGTERM, [](int) {
+    if (g_server != nullptr) g_server->request_shutdown();
+  });
+  server.wait();
+  server.shutdown();
+  g_server = nullptr;
+  engine.stop();
+  std::printf("served %llu requests (%llu rejected)\n",
+              static_cast<unsigned long long>(
+                  ic::telemetry::MetricsRegistry::global()
+                      .counter("serve.requests")
+                      .value()),
+              static_cast<unsigned long long>(
+                  ic::telemetry::MetricsRegistry::global()
+                      .counter("serve.rejected")
+                      .value()));
+  return 0;
+}
+
+int cmd_query(const Args& a) {
+  const std::string port = opt(a, "port", "");
+  IC_CHECK(!port.empty(), "query needs --port P");
+  ic::serve::Client client(opt(a, "host", "127.0.0.1"), std::stoi(port));
+
+  ic::serve::WireRequest request;
+  request.op = opt(a, "op", "predict");
+  request.model = opt(a, "model", "default");
+  request.circuit = opt(a, "circuit", "default");
+  request.timeout_ms = std::stoll(opt(a, "timeout-ms", "-1"));
+  if (request.op == "predict") {
+    request.select = parse_selection(opt(a, "select", ""));
+    IC_CHECK(!request.select.empty(), "query needs --select \"id,id,...\"");
+  }
+
+  const auto response = client.call(request);
+  if (!response.ok) {
+    std::fprintf(stderr, "error: %s (%s)\n", response.error.c_str(),
+                 response.status.c_str());
+    return 1;
+  }
+  if (request.op == "predict") {
+    std::printf("predicted de-obfuscation runtime: %.6f s (log-label %.4f, "
+                "model v%llu)\n",
+                response.seconds, response.log_runtime,
+                static_cast<unsigned long long>(response.model_version));
+  } else {
+    std::printf("%s\n", response.raw.dump().c_str());
+  }
+  return 0;
+}
+
 void usage() {
   std::fprintf(stderr,
-               "usage: icnet_cli <lock|attack|dataset|train|predict> ...\n"
+               "usage: icnet_cli <lock|attack|dataset|train|predict|serve|query|gen> ...\n"
                "       [--jobs N] [--log-level L] [--trace-out F] [--metrics-out F]\n"
                "see the header of examples/icnet_cli.cpp for details\n");
 }
@@ -210,6 +374,9 @@ int dispatch(const std::string& cmd, const Args& args) {
   if (cmd == "dataset") return cmd_dataset(args);
   if (cmd == "train") return cmd_train(args);
   if (cmd == "predict") return cmd_predict(args);
+  if (cmd == "serve") return cmd_serve(args);
+  if (cmd == "query") return cmd_query(args);
+  if (cmd == "gen") return cmd_gen(args);
   usage();
   return 2;
 }
@@ -249,6 +416,10 @@ int main(int argc, char** argv) {
     const int rc = dispatch(cmd, args);
     flush_telemetry();
     return rc;
+  } catch (const UsageError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    usage();
+    return 2;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     // Partial traces are still useful for diagnosing the failure.

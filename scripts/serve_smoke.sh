@@ -1,0 +1,106 @@
+#!/usr/bin/env bash
+# Serving-layer smoke test (CI: the serve-smoke job).
+#
+# Stands up `icnet_cli serve` on loopback against a small trained model,
+# fires a few hundred concurrent queries at it from many connections, and
+# requires:
+#   * every in-deadline request is answered ok (zero drops),
+#   * the server shuts down gracefully (exit code 0) on {"op":"shutdown"}.
+#
+# Usage: scripts/serve_smoke.sh [path/to/icnet_cli]
+# SMOKE_CACHE_DIR (optional): directory holding/receiving the trained model,
+# so CI can cache it across runs instead of re-attacking the circuit.
+set -euo pipefail
+
+CLI=${1:-build/examples/icnet_cli}
+PORT=${SMOKE_PORT:-38471}
+CLIENTS=${SMOKE_CLIENTS:-20}
+PER_CLIENT=${SMOKE_PER_CLIENT:-20}
+
+WORK=$(mktemp -d)
+trap 'kill "$SERVE_PID" 2>/dev/null || true; rm -rf "$WORK"' EXIT
+
+CACHE=${SMOKE_CACHE_DIR:-$WORK}
+mkdir -p "$CACHE"
+
+if [[ ! -f "$CACHE/model.txt" || ! -f "$CACHE/circuit.bench" ]]; then
+  echo "== building model (cache miss)"
+  "$CLI" gen "$CACHE/circuit.bench" --gates 96 --inputs 16 --outputs 8 --seed 7
+  "$CLI" dataset "$CACHE/circuit.bench" "$CACHE/dataset.txt" \
+    --instances 12 --max 8 --seed 3
+  "$CLI" train "$CACHE/circuit.bench" "$CACHE/dataset.txt" "$CACHE/model.txt" \
+    --epochs 40
+else
+  echo "== using cached model"
+fi
+
+echo "== starting server on 127.0.0.1:$PORT"
+"$CLI" serve "$CACHE/circuit.bench" "$CACHE/model.txt" --port "$PORT" \
+  --max-queue 4096 --batch 32 --jobs 4 > "$WORK/serve.log" 2>&1 &
+SERVE_PID=$!
+
+for _ in $(seq 1 100); do
+  if "$CLI" query --port "$PORT" --op ping > /dev/null 2>&1; then
+    break
+  fi
+  kill -0 "$SERVE_PID" 2>/dev/null || { cat "$WORK/serve.log"; exit 1; }
+  sleep 0.1
+done
+"$CLI" query --port "$PORT" --op ping > /dev/null
+
+echo "== blasting $((CLIENTS * PER_CLIENT)) concurrent queries"
+python3 - "$PORT" "$CLIENTS" "$PER_CLIENT" <<'PY'
+import json, socket, sys, threading
+
+port, clients, per_client = int(sys.argv[1]), int(sys.argv[2]), int(sys.argv[3])
+failures = []
+lock = threading.Lock()
+
+def worker(cid):
+    try:
+        sock = socket.create_connection(("127.0.0.1", port), timeout=30)
+        f = sock.makefile("rw")
+        # Pipeline every request, then read every response in order.
+        for i in range(per_client):
+            select = [1 + (cid * per_client + i) % 90, 3 + i % 50]
+            req = {"op": "predict", "select": select, "timeout_ms": 30000,
+                   "id": cid * per_client + i}
+            f.write(json.dumps(req) + "\n")
+        f.flush()
+        for i in range(per_client):
+            resp = json.loads(f.readline())
+            if not resp.get("ok"):
+                with lock:
+                    failures.append((cid, i, resp))
+        sock.close()
+    except Exception as e:  # noqa: BLE001 - any failure fails the smoke
+        with lock:
+            failures.append((cid, "exception", repr(e)))
+
+threads = [threading.Thread(target=worker, args=(c,)) for c in range(clients)]
+for t in threads:
+    t.start()
+for t in threads:
+    t.join()
+
+if failures:
+    print(f"FAIL: {len(failures)} dropped/failed in-deadline requests")
+    for item in failures[:10]:
+        print("  ", item)
+    sys.exit(1)
+print(f"OK: {clients * per_client} concurrent requests all answered")
+PY
+
+echo "== checking server stats"
+"$CLI" query --port "$PORT" --op stats
+
+echo "== graceful shutdown"
+"$CLI" query --port "$PORT" --op shutdown
+wait "$SERVE_PID"
+RC=$?
+cat "$WORK/serve.log"
+if [[ $RC -ne 0 ]]; then
+  echo "FAIL: server exited with code $RC"
+  exit 1
+fi
+echo "OK: server shut down cleanly"

@@ -38,6 +38,10 @@ struct EstimatorOptions {
   std::uint64_t seed = 1;
 };
 
+/// Structure operator a variant consumes (shared with ic::serve, which
+/// featurizes circuits without going through a RuntimeEstimator).
+data::StructureKind structure_kind_for(ModelVariant variant);
+
 class RuntimeEstimator {
  public:
   explicit RuntimeEstimator(EstimatorOptions options = {});
@@ -76,9 +80,15 @@ class RuntimeEstimator {
   const EstimatorOptions& options() const { return options_; }
   bool is_fitted() const { return fitted_; }
 
-  /// Serialize the trained parameters to / from a text file.
+  /// Serialize the trained parameters to / from a text file. save() writes
+  /// the self-describing v2 format (DESIGN.md §9); load() accepts v1 and v2
+  /// but requires this estimator's architecture to match the file.
   void save(const std::string& path) const;
   void load(const std::string& path);
+
+  /// Construct a fitted estimator from a v2 model file alone — architecture
+  /// options come from the file's header. Throws for v1 files.
+  static RuntimeEstimator from_file(const std::string& path);
 
  private:
   data::StructureKind structure_kind() const;

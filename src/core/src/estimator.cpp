@@ -21,8 +21,8 @@ RuntimeEstimator::~RuntimeEstimator() = default;
 RuntimeEstimator::RuntimeEstimator(RuntimeEstimator&&) noexcept = default;
 RuntimeEstimator& RuntimeEstimator::operator=(RuntimeEstimator&&) noexcept = default;
 
-data::StructureKind RuntimeEstimator::structure_kind() const {
-  switch (options_.variant) {
+data::StructureKind structure_kind_for(ModelVariant variant) {
+  switch (variant) {
     case ModelVariant::ICNet: return data::StructureKind::Adjacency;
     case ModelVariant::Gcn: return data::StructureKind::GcnNorm;
     case ModelVariant::ChebNet: return data::StructureKind::ScaledLaplacian;
@@ -30,6 +30,10 @@ data::StructureKind RuntimeEstimator::structure_kind() const {
   }
   IC_ASSERT_MSG(false, "unhandled ModelVariant");
   return data::StructureKind::Adjacency;
+}
+
+data::StructureKind RuntimeEstimator::structure_kind() const {
+  return structure_kind_for(options_.variant);
 }
 
 nn::GnnConfig RuntimeEstimator::gnn_config() const {
@@ -115,12 +119,29 @@ std::vector<double> RuntimeEstimator::feature_attention() const {
 
 void RuntimeEstimator::save(const std::string& path) const {
   IC_CHECK(fitted_, "cannot save an unfitted estimator");
-  save_parameters(*model_, path);
+  save_model(*model_, path, options_.variant, options_.features);
 }
 
 void RuntimeEstimator::load(const std::string& path) {
   load_parameters(*model_, path);
   fitted_ = true;
+}
+
+RuntimeEstimator RuntimeEstimator::from_file(const std::string& path) {
+  const ModelSpec spec = read_model_spec(path);
+  IC_CHECK(spec.version >= 2,
+           "'" << path << "' is a v1 parameter file; construct an estimator "
+                          "with the matching options and call load()");
+  EstimatorOptions options;
+  options.variant = spec.variant;
+  options.features = spec.features;
+  options.readout = spec.config.readout;
+  options.exp_head = spec.config.exp_head;
+  options.hidden = spec.config.hidden;
+  options.cheb_order = spec.config.cheb_order;
+  RuntimeEstimator estimator(options);
+  estimator.load(path);
+  return estimator;
 }
 
 }  // namespace ic::core

@@ -1,0 +1,45 @@
+// Blocking JSON-lines client for the serving front-end (DESIGN.md §9).
+//
+// One TCP connection per Client. call() is the simple request/response path;
+// send()/receive() split the two halves so callers can pipeline many
+// requests on one connection (the server answers strictly in request order
+// per connection, so the k-th receive() matches the k-th send()).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "ic/serve/wire.hpp"
+
+namespace ic::serve {
+
+class Client {
+ public:
+  /// Connect to host:port. Throws ic::input_error on failure.
+  Client(const std::string& host, int port);
+  ~Client();
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client(Client&& other) noexcept;
+
+  /// send() + receive().
+  WireResponse call(const WireRequest& request);
+
+  void send(const WireRequest& request);
+  WireResponse receive();
+
+  WireResponse ping();
+  WireResponse stats();
+  /// Ask the server to drain and stop; returns its acknowledgement.
+  WireResponse shutdown_server();
+
+  void close();
+
+ private:
+  std::string read_line();
+
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+}  // namespace ic::serve

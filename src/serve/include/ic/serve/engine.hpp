@@ -1,0 +1,155 @@
+// Micro-batching inference engine (DESIGN.md §9).
+//
+// Request lifecycle:
+//   submit() ── bounded queue ──► batcher thread ── micro-batch ──►
+//     ThreadPool fan-out (indexed result slots) ──► promises fulfilled
+//
+// * Backpressure is explicit: when the queue holds max_queue requests,
+//   submit() completes the future immediately with Rejected instead of
+//   blocking the caller or growing without bound.
+// * Deadlines are per request (enqueue time + timeout_ms); an expired
+//   request is answered DeadlineExceeded without running inference.
+// * Micro-batching: the batcher drains up to max_batch queued requests and
+//   fans them out with ThreadPool::parallel_for under the PR 2 determinism
+//   contract — each request writes results[i], every per-request computation
+//   is a pure function of (model parameters, structure operator, features),
+//   and each executor runs its own model replica, so concurrent answers are
+//   bit-identical to serial ones.
+// * Shutdown is drain-then-stop: stop() rejects new work, finishes
+//   everything already queued, then joins the batcher.
+//
+// Telemetry: counters serve.requests / serve.rejected /
+// serve.deadline_exceeded / serve.errors / serve.batches, gauge
+// serve.queue_depth, histogram serve.latency_seconds (submit → response),
+// spans serve/batch and serve/request.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ic/circuit/netlist.hpp"
+#include "ic/serve/feature_cache.hpp"
+#include "ic/serve/model_registry.hpp"
+#include "ic/support/thread_pool.hpp"
+
+namespace ic::serve {
+
+struct EngineOptions {
+  std::size_t max_queue = 1024;  ///< reject-with-error beyond this depth
+  std::size_t max_batch = 32;    ///< requests per micro-batch
+  /// Inference workers. 0 = share ThreadPool::global() (sized by IC_JOBS);
+  /// an explicit value gives the engine a private pool of that size.
+  std::size_t jobs = 0;
+  std::int64_t default_timeout_ms = -1;  ///< applied when a request has none
+};
+
+enum class RequestStatus { Ok, Rejected, DeadlineExceeded, Error };
+
+/// Wire-protocol name of a status ("ok", "rejected", "deadline", "error").
+const char* status_name(RequestStatus status);
+
+struct PredictRequest {
+  std::string model = "default";
+  std::string circuit = "default";
+  std::vector<circuit::GateId> selection;
+  std::int64_t timeout_ms = -1;  ///< -1 = engine default
+};
+
+struct PredictResult {
+  RequestStatus status = RequestStatus::Ok;
+  std::string error;
+  double log_runtime = 0.0;  ///< label scale: log(1 + runtime µs)
+  double seconds = 0.0;
+  std::uint64_t model_version = 0;
+
+  bool ok() const { return status == RequestStatus::Ok; }
+};
+
+class InferenceEngine {
+ public:
+  explicit InferenceEngine(ModelRegistry& registry, EngineOptions options = {});
+  ~InferenceEngine();  ///< drain-then-stop
+  InferenceEngine(const InferenceEngine&) = delete;
+  InferenceEngine& operator=(const InferenceEngine&) = delete;
+
+  /// Register a circuit for prediction under `name` (fingerprinted once
+  /// here; replaces any previous binding of the name).
+  void register_circuit(const std::string& name,
+                        std::shared_ptr<const circuit::Netlist> circuit);
+
+  /// Enqueue one request. The future always completes — with a prediction,
+  /// or with a Rejected / DeadlineExceeded / Error result.
+  std::future<PredictResult> submit(PredictRequest request);
+
+  /// submit() + wait. Convenience for tests and the CLI.
+  PredictResult predict(PredictRequest request);
+
+  /// Block until every queued and in-flight request has been answered.
+  void drain();
+
+  /// Graceful shutdown: reject new submissions, answer everything already
+  /// queued, join the batcher. Idempotent; the destructor calls it.
+  void stop();
+
+  std::size_t queue_depth() const;
+
+  /// Pause/resume the batcher (queued requests sit untouched while paused).
+  /// Exists so tests can fill the queue deterministically; stop() resumes.
+  void set_paused(bool paused);
+
+  /// Drop cached featurizations (cold-start benchmarking).
+  void clear_feature_cache() { features_.clear(); }
+
+ private:
+  struct Pending {
+    PredictRequest request;
+    std::promise<PredictResult> promise;
+    std::chrono::steady_clock::time_point enqueued;
+    std::chrono::steady_clock::time_point deadline;  ///< max() = none
+  };
+  struct RegisteredCircuit {
+    std::shared_ptr<const circuit::Netlist> netlist;
+    std::uint64_t fingerprint = 0;
+  };
+  /// Per-executor cached model copy, refreshed when the snapshot moves.
+  struct Replica {
+    std::uint64_t version = 0;
+    std::unique_ptr<nn::GnnRegressor> model;
+  };
+
+  void batcher_loop();
+  PredictResult process(const Pending& pending, std::size_t executor);
+  static std::future<PredictResult> immediate(PredictResult result);
+
+  ModelRegistry& registry_;
+  EngineOptions options_;
+  FeatureCache features_;
+
+  support::ThreadPool* pool_;                  // global or owned_pool_
+  std::unique_ptr<support::ThreadPool> owned_pool_;
+  // replicas_[executor][model name] — an executor's slot is only ever
+  // touched by that executor during a parallel_for, so no lock is needed.
+  std::vector<std::map<std::string, Replica>> replicas_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;    // batcher wakeups
+  std::condition_variable drained_cv_; // drain() wakeups
+  std::deque<std::unique_ptr<Pending>> queue_;
+  std::map<std::string, RegisteredCircuit> circuits_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+  bool paused_ = false;
+
+  std::thread batcher_;
+};
+
+}  // namespace ic::serve

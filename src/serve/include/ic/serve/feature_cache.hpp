@@ -1,0 +1,76 @@
+// Per-circuit featurization cache (DESIGN.md §9).
+//
+// The expensive, selection-independent parts of a prediction — building the
+// structure operator (adjacency / GCN norm / scaled Laplacian) and the
+// gate-type one-hot columns — depend only on the circuit, the feature set,
+// and the structure kind. This cache computes them once per distinct circuit
+// *content* (keyed by a fingerprint of the canonical .bench serialization,
+// so two loads of the same netlist share an entry) and serves shared
+// read-only handles. A per-request feature matrix is then the cached base
+// with the selection's mask bits set — bit-identical to
+// data::gate_features(circuit, selection, set) computed from scratch.
+//
+// Telemetry: counters serve.feature_cache.hits / serve.feature_cache.misses,
+// gauge serve.feature_cache.entries.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <tuple>
+
+#include "ic/circuit/netlist.hpp"
+#include "ic/data/dataset.hpp"
+#include "ic/data/features.hpp"
+#include "ic/graph/matrix.hpp"
+#include "ic/graph/sparse.hpp"
+
+namespace ic::serve {
+
+/// FNV-1a hash of the canonical .bench serialization of a netlist: equal
+/// circuits hash equal regardless of how they were constructed or loaded.
+std::uint64_t netlist_fingerprint(const circuit::Netlist& netlist);
+
+class FeatureCache {
+ public:
+  /// Everything selection-independent about (circuit, features, kind).
+  struct Entry {
+    std::uint64_t fingerprint = 0;
+    std::shared_ptr<const circuit::Netlist> circuit;
+    std::shared_ptr<const graph::SparseMatrix> structure;
+    graph::Matrix base_features;  ///< mask column all-zero, type one-hots set
+    data::FeatureSet features = data::FeatureSet::All;
+    data::StructureKind kind = data::StructureKind::Adjacency;
+  };
+
+  /// Find-or-build. The build runs under the cache lock (building twice
+  /// would waste the exact work the cache exists to save).
+  std::shared_ptr<const Entry> get(
+      std::shared_ptr<const circuit::Netlist> circuit,
+      data::FeatureSet features, data::StructureKind kind);
+
+  /// Same, with the fingerprint precomputed by the caller — the hot path for
+  /// the engine, which fingerprints each circuit once at registration
+  /// instead of re-serializing the netlist per request.
+  std::shared_ptr<const Entry> get(
+      std::shared_ptr<const circuit::Netlist> circuit,
+      data::FeatureSet features, data::StructureKind kind,
+      std::uint64_t fingerprint);
+
+  /// Feature matrix for one selection: the cached base with the selection's
+  /// mask bits set. Callers must have validated the gate ids.
+  static graph::Matrix features_for(const Entry& entry,
+                                    const std::vector<circuit::GateId>& selection);
+
+  std::size_t size() const;
+  void clear();  ///< drop all entries (benchmarks; outstanding handles survive)
+
+ private:
+  using Key = std::tuple<std::uint64_t, data::FeatureSet, data::StructureKind>;
+
+  mutable std::mutex mu_;
+  std::map<Key, std::shared_ptr<const Entry>> entries_;
+};
+
+}  // namespace ic::serve

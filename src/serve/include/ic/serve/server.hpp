@@ -1,0 +1,101 @@
+// Minimal TCP front-end for the inference engine (DESIGN.md §9).
+//
+// Plain POSIX sockets, JSON-lines protocol (one JSON object per '\n'-framed
+// line, see wire.hpp), thread-per-connection. The accept loop multiplexes the
+// listening socket with a self-pipe via poll(), so shutdown() wakes it
+// immediately; the poll timeout doubles as the model hot-reload tick
+// (ModelRegistry::poll_reload).
+//
+// Graceful shutdown order:
+//   1. stop accepting (close listener),
+//   2. shutdown(SHUT_RD) every open connection — handlers finish the request
+//      they are on, then see EOF and exit,
+//   3. join handler threads,
+//   4. InferenceEngine::drain() so every accepted request is answered.
+// A client can trigger this remotely with {"op":"shutdown"}.
+//
+// Telemetry: counter serve.connections, gauge serve.open_connections.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "ic/serve/engine.hpp"
+#include "ic/serve/model_registry.hpp"
+
+namespace ic::serve {
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  int port = 0;  ///< 0 = pick an ephemeral port (read back via port())
+  int backlog = 64;
+  /// Accept-loop poll timeout; each expiry runs ModelRegistry::poll_reload().
+  /// <= 0 disables hot-reload polling (poll blocks until a connection).
+  std::int64_t reload_poll_ms = 1000;
+};
+
+class Server {
+ public:
+  Server(InferenceEngine& engine, ModelRegistry& registry,
+         ServerOptions options = {});
+  ~Server();  ///< calls shutdown()
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind + listen + start the accept loop. Throws ic::input_error when the
+  /// address cannot be bound.
+  void start();
+
+  /// Port actually bound (resolves port 0). Valid after start().
+  int port() const { return port_; }
+
+  bool running() const { return running_.load(); }
+
+  /// Block until shutdown is requested (remotely or via shutdown()).
+  void wait();
+
+  /// Flag the server to stop and wake the accept loop, without tearing
+  /// anything down yet — async-signal-safe (atomic store + pipe write), so a
+  /// SIGINT handler may call it; follow up with shutdown() from a normal
+  /// thread.
+  void request_shutdown();
+
+  /// Graceful drain-then-stop; see file header. Idempotent, and safe to call
+  /// while wait() blocks in another thread.
+  void shutdown();
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
+  void accept_loop();
+  void handle_connection(Connection* conn);
+  std::string handle_line(const std::string& line, bool* close_connection);
+  void reap_connections(bool join_all);
+
+  InferenceEngine& engine_;
+  ModelRegistry& registry_;
+  ServerOptions options_;
+
+  int listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};
+  int port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_requested_{false};
+  std::thread accept_thread_;
+
+  std::mutex mu_;
+  std::condition_variable stop_cv_;
+  std::list<std::unique_ptr<Connection>> connections_;
+};
+
+}  // namespace ic::serve

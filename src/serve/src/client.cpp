@@ -1,0 +1,105 @@
+#include "ic/serve/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "ic/support/assert.hpp"
+
+namespace ic::serve {
+
+Client::Client(const std::string& host, int port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  IC_CHECK(fd_ >= 0, "socket() failed: " << std::strerror(errno));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  IC_CHECK(::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) == 1,
+           "invalid host address '" << host << "'");
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string why = std::strerror(errno);
+    ::close(fd_);
+    fd_ = -1;
+    ic::input_error("cannot connect to " + host + ":" + std::to_string(port) +
+                    ": " + why);
+  }
+}
+
+Client::~Client() { close(); }
+
+Client::Client(Client&& other) noexcept
+    : fd_(other.fd_), buffer_(std::move(other.buffer_)) {
+  other.fd_ = -1;
+}
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Client::send(const WireRequest& request) {
+  IC_CHECK(fd_ >= 0, "client connection is closed");
+  const std::string line = encode_request(request) + "\n";
+  std::size_t sent = 0;
+  while (sent < line.size()) {
+    const ssize_t n =
+        ::send(fd_, line.data() + sent, line.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ic::input_error(std::string("send failed: ") + std::strerror(errno));
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+std::string Client::read_line() {
+  for (;;) {
+    const std::size_t nl = buffer_.find('\n');
+    if (nl != std::string::npos) {
+      std::string line = buffer_.substr(0, nl);
+      buffer_.erase(0, nl + 1);
+      return line;
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    IC_CHECK(n > 0, "connection closed while waiting for a response");
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+WireResponse Client::receive() {
+  IC_CHECK(fd_ >= 0, "client connection is closed");
+  return parse_response(read_line());
+}
+
+WireResponse Client::call(const WireRequest& request) {
+  send(request);
+  return receive();
+}
+
+WireResponse Client::ping() {
+  WireRequest request;
+  request.op = "ping";
+  return call(request);
+}
+
+WireResponse Client::stats() {
+  WireRequest request;
+  request.op = "stats";
+  return call(request);
+}
+
+WireResponse Client::shutdown_server() {
+  WireRequest request;
+  request.op = "shutdown";
+  return call(request);
+}
+
+}  // namespace ic::serve

@@ -1,0 +1,241 @@
+#include "ic/serve/engine.hpp"
+
+#include <cmath>
+
+#include "ic/support/assert.hpp"
+#include "ic/support/log.hpp"
+#include "ic/support/metrics.hpp"
+#include "ic/support/trace.hpp"
+
+namespace ic::serve {
+
+using Clock = std::chrono::steady_clock;
+
+const char* status_name(RequestStatus status) {
+  switch (status) {
+    case RequestStatus::Ok: return "ok";
+    case RequestStatus::Rejected: return "rejected";
+    case RequestStatus::DeadlineExceeded: return "deadline";
+    case RequestStatus::Error: return "error";
+  }
+  IC_ASSERT_MSG(false, "unhandled RequestStatus");
+  return "error";
+}
+
+InferenceEngine::InferenceEngine(ModelRegistry& registry, EngineOptions options)
+    : registry_(registry), options_(options) {
+  IC_CHECK(options_.max_queue >= 1, "EngineOptions::max_queue must be >= 1");
+  IC_CHECK(options_.max_batch >= 1, "EngineOptions::max_batch must be >= 1");
+  if (options_.jobs == 0) {
+    pool_ = &support::ThreadPool::global();
+  } else {
+    owned_pool_ = std::make_unique<support::ThreadPool>(
+        support::ThreadPool::effective_jobs(options_.jobs));
+    pool_ = owned_pool_.get();
+  }
+  replicas_.resize(pool_->worker_count() + 1);
+  batcher_ = std::thread([this] { batcher_loop(); });
+}
+
+InferenceEngine::~InferenceEngine() { stop(); }
+
+void InferenceEngine::register_circuit(
+    const std::string& name, std::shared_ptr<const circuit::Netlist> circuit) {
+  IC_CHECK(circuit != nullptr, "register_circuit needs a netlist");
+  RegisteredCircuit entry;
+  entry.fingerprint = netlist_fingerprint(*circuit);
+  entry.netlist = std::move(circuit);
+  std::lock_guard<std::mutex> lock(mu_);
+  circuits_[name] = std::move(entry);
+}
+
+std::future<PredictResult> InferenceEngine::immediate(PredictResult result) {
+  std::promise<PredictResult> promise;
+  promise.set_value(std::move(result));
+  return promise.get_future();
+}
+
+std::future<PredictResult> InferenceEngine::submit(PredictRequest request) {
+  auto& registry = telemetry::MetricsRegistry::global();
+  const auto now = Clock::now();
+  std::int64_t timeout_ms =
+      request.timeout_ms >= 0 ? request.timeout_ms : options_.default_timeout_ms;
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stopping_) {
+    registry.counter("serve.rejected").add(1);
+    PredictResult rejected;
+    rejected.status = RequestStatus::Rejected;
+    rejected.error = "engine is shutting down";
+    return immediate(std::move(rejected));
+  }
+  if (queue_.size() >= options_.max_queue) {
+    registry.counter("serve.rejected").add(1);
+    PredictResult rejected;
+    rejected.status = RequestStatus::Rejected;
+    rejected.error = "queue full (max_queue=" +
+                     std::to_string(options_.max_queue) + ")";
+    return immediate(std::move(rejected));
+  }
+  auto pending = std::make_unique<Pending>();
+  pending->request = std::move(request);
+  pending->enqueued = now;
+  pending->deadline = timeout_ms >= 0
+                          ? now + std::chrono::milliseconds(timeout_ms)
+                          : Clock::time_point::max();
+  auto future = pending->promise.get_future();
+  queue_.push_back(std::move(pending));
+  registry.counter("serve.requests").add(1);
+  registry.gauge("serve.queue_depth").set(static_cast<double>(queue_.size()));
+  work_cv_.notify_one();
+  return future;
+}
+
+PredictResult InferenceEngine::predict(PredictRequest request) {
+  return submit(std::move(request)).get();
+}
+
+PredictResult InferenceEngine::process(const Pending& pending,
+                                       std::size_t executor) {
+  auto& metrics = telemetry::MetricsRegistry::global();
+  telemetry::TraceSpan span("serve/request");
+  PredictResult out;
+  if (Clock::now() > pending.deadline) {
+    metrics.counter("serve.deadline_exceeded").add(1);
+    out.status = RequestStatus::DeadlineExceeded;
+    out.error = "deadline exceeded before execution";
+    return out;
+  }
+  const PredictRequest& request = pending.request;
+  try {
+    const auto snapshot = registry_.get(request.model);
+    if (snapshot == nullptr) {
+      metrics.counter("serve.errors").add(1);
+      out.status = RequestStatus::Error;
+      out.error = "unknown model '" + request.model + "'";
+      return out;
+    }
+    RegisteredCircuit circuit;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      const auto it = circuits_.find(request.circuit);
+      if (it == circuits_.end()) {
+        metrics.counter("serve.errors").add(1);
+        out.status = RequestStatus::Error;
+        out.error = "unknown circuit '" + request.circuit + "'";
+        return out;
+      }
+      circuit = it->second;
+    }
+    for (const circuit::GateId id : request.selection) {
+      if (id >= circuit.netlist->size()) {
+        metrics.counter("serve.errors").add(1);
+        out.status = RequestStatus::Error;
+        out.error = "gate id " + std::to_string(id) + " out of range (circuit has " +
+                    std::to_string(circuit.netlist->size()) + " gates)";
+        return out;
+      }
+    }
+    const auto features =
+        features_.get(circuit.netlist, snapshot->spec.features,
+                      snapshot->structure_kind(), circuit.fingerprint);
+    const graph::Matrix x =
+        FeatureCache::features_for(*features, request.selection);
+
+    IC_ASSERT(executor < replicas_.size());
+    Replica& replica = replicas_[executor][request.model];
+    if (replica.model == nullptr || replica.version != snapshot->version) {
+      replica.model = std::make_unique<nn::GnnRegressor>(snapshot->replica());
+      replica.version = snapshot->version;
+    }
+    out.log_runtime = replica.model->predict(*features->structure, x);
+    // Targets are log(1 + microseconds); mirror RuntimeEstimator exactly.
+    out.seconds = std::expm1(out.log_runtime) / 1e6;
+    out.model_version = snapshot->version;
+    return out;
+  } catch (const std::exception& e) {
+    metrics.counter("serve.errors").add(1);
+    out.status = RequestStatus::Error;
+    out.error = e.what();
+    return out;
+  }
+}
+
+void InferenceEngine::batcher_loop() {
+  auto& metrics = telemetry::MetricsRegistry::global();
+  auto& latency = metrics.histogram("serve.latency_seconds");
+  for (;;) {
+    std::vector<std::unique_ptr<Pending>> batch;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] {
+        return (!paused_ && !queue_.empty()) || (stopping_ && queue_.empty());
+      });
+      if (stopping_ && queue_.empty()) return;
+      const std::size_t n = std::min(options_.max_batch, queue_.size());
+      batch.reserve(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      in_flight_ = n;
+      metrics.gauge("serve.queue_depth").set(static_cast<double>(queue_.size()));
+    }
+
+    {
+      telemetry::TraceSpan span("serve/batch");
+      std::vector<PredictResult> results(batch.size());
+      // Indexed result slots + per-executor replicas: the PR 2 determinism
+      // contract. Each slot is written by exactly one task; fulfillment below
+      // happens on this thread in index order.
+      pool_->parallel_for(0, batch.size(), [&](std::size_t i, std::size_t executor) {
+        results[i] = process(*batch[i], executor);
+      });
+      metrics.counter("serve.batches").add(1);
+      const auto done = Clock::now();
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        latency.observe(
+            std::chrono::duration<double>(done - batch[i]->enqueued).count());
+        batch[i]->promise.set_value(std::move(results[i]));
+      }
+    }
+
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      in_flight_ = 0;
+      if (queue_.empty()) drained_cv_.notify_all();
+    }
+  }
+}
+
+void InferenceEngine::drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  IC_CHECK(!paused_ || queue_.empty(),
+           "drain() would never finish while the engine is paused");
+  drained_cv_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+}
+
+void InferenceEngine::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+    paused_ = false;
+  }
+  work_cv_.notify_all();
+  if (batcher_.joinable()) batcher_.join();
+}
+
+std::size_t InferenceEngine::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+void InferenceEngine::set_paused(bool paused) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    paused_ = paused;
+  }
+  work_cv_.notify_all();
+}
+
+}  // namespace ic::serve

@@ -1,0 +1,74 @@
+#include "ic/serve/feature_cache.hpp"
+
+#include "ic/circuit/bench_io.hpp"
+#include "ic/support/metrics.hpp"
+#include "ic/support/trace.hpp"
+
+namespace ic::serve {
+
+std::uint64_t netlist_fingerprint(const circuit::Netlist& netlist) {
+  const std::string text = circuit::write_bench(netlist);
+  std::uint64_t h = 0xcbf29ce484222325ull;  // FNV-1a 64
+  for (const char c : text) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+std::shared_ptr<const FeatureCache::Entry> FeatureCache::get(
+    std::shared_ptr<const circuit::Netlist> circuit, data::FeatureSet features,
+    data::StructureKind kind) {
+  const std::uint64_t fp = netlist_fingerprint(*circuit);
+  return get(std::move(circuit), features, kind, fp);
+}
+
+std::shared_ptr<const FeatureCache::Entry> FeatureCache::get(
+    std::shared_ptr<const circuit::Netlist> circuit, data::FeatureSet features,
+    data::StructureKind kind, std::uint64_t fp) {
+  auto& registry = telemetry::MetricsRegistry::global();
+  const Key key{fp, features, kind};
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    registry.counter("serve.feature_cache.hits").add(1);
+    return it->second;
+  }
+  registry.counter("serve.feature_cache.misses").add(1);
+  telemetry::TraceSpan span("serve/featurize");
+  auto entry = std::make_shared<Entry>();
+  entry->fingerprint = fp;
+  entry->circuit = circuit;
+  entry->structure = data::make_structure(*circuit, kind);
+  entry->base_features = data::gate_features(*circuit, {}, features);
+  entry->features = features;
+  entry->kind = kind;
+  entries_.emplace(key, entry);
+  registry.gauge("serve.feature_cache.entries")
+      .set(static_cast<double>(entries_.size()));
+  return entry;
+}
+
+graph::Matrix FeatureCache::features_for(
+    const Entry& entry, const std::vector<circuit::GateId>& selection) {
+  graph::Matrix x = entry.base_features;
+  for (const circuit::GateId id : selection) {
+    x(id, data::kMaskColumn) = 1.0;
+  }
+  return x;
+}
+
+std::size_t FeatureCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+void FeatureCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  telemetry::MetricsRegistry::global()
+      .gauge("serve.feature_cache.entries")
+      .set(0.0);
+}
+
+}  // namespace ic::serve

@@ -1,0 +1,297 @@
+#include "ic/serve/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "ic/serve/wire.hpp"
+#include "ic/support/assert.hpp"
+#include "ic/support/log.hpp"
+#include "ic/support/metrics.hpp"
+
+namespace ic::serve {
+
+namespace {
+
+void close_fd(int* fd) {
+  if (*fd >= 0) {
+    ::close(*fd);
+    *fd = -1;
+  }
+}
+
+bool send_all(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+Server::Server(InferenceEngine& engine, ModelRegistry& registry,
+               ServerOptions options)
+    : engine_(engine), registry_(registry), options_(std::move(options)) {}
+
+Server::~Server() { shutdown(); }
+
+void Server::start() {
+  IC_CHECK(!running_.load(), "server already started");
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  IC_CHECK(listen_fd_ >= 0, "socket() failed: " << std::strerror(errno));
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(options_.port));
+  IC_CHECK(::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) == 1,
+           "invalid host address '" << options_.host << "'");
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const std::string why = std::strerror(errno);
+    close_fd(&listen_fd_);
+    ic::input_error("cannot bind " + options_.host + ":" +
+                    std::to_string(options_.port) + ": " + why);
+  }
+  IC_CHECK(::listen(listen_fd_, options_.backlog) == 0,
+           "listen() failed: " << std::strerror(errno));
+
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  IC_CHECK(
+      ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) == 0,
+      "getsockname() failed: " << std::strerror(errno));
+  port_ = ntohs(bound.sin_port);
+
+  IC_CHECK(::pipe(wake_pipe_) == 0, "pipe() failed: " << std::strerror(errno));
+
+  stop_requested_.store(false);
+  running_.store(true);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  ICLOG(info) << "serve: listening on " << options_.host << ":" << port_;
+}
+
+void Server::request_shutdown() {
+  // Async-signal-safe on purpose: atomic CAS + write(2) only, so the CLI's
+  // SIGINT handler can call it. wait() polls, so no cv notify is needed here.
+  bool expected = false;
+  if (!stop_requested_.compare_exchange_strong(expected, true)) return;
+  if (wake_pipe_[1] >= 0) {
+    const char byte = 'x';
+    (void)!::write(wake_pipe_[1], &byte, 1);
+  }
+}
+
+void Server::wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_requested_.load()) {
+    stop_cv_.wait_for(lock, std::chrono::milliseconds(100));
+  }
+}
+
+void Server::shutdown() {
+  if (!running_.load()) return;
+  request_shutdown();
+  stop_cv_.notify_all();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  close_fd(&listen_fd_);
+  // Half-close every open connection: handlers finish the request they are
+  // on, read EOF, and exit; their replies still flush on the write side.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& conn : connections_) {
+      if (conn->fd >= 0) ::shutdown(conn->fd, SHUT_RD);
+    }
+  }
+  reap_connections(/*join_all=*/true);
+  engine_.drain();
+  close_fd(&wake_pipe_[0]);
+  close_fd(&wake_pipe_[1]);
+  running_.store(false);
+  ICLOG(info) << "serve: shutdown complete";
+}
+
+void Server::reap_connections(bool join_all) {
+  std::list<std::unique_ptr<Connection>> finished;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto it = connections_.begin(); it != connections_.end();) {
+      if (join_all || (*it)->done.load()) {
+        finished.push_back(std::move(*it));
+        it = connections_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (auto& conn : finished) {
+    if (conn->thread.joinable()) conn->thread.join();
+    close_fd(&conn->fd);
+  }
+  telemetry::MetricsRegistry::global().gauge("serve.open_connections").set([
+    this] {
+    std::lock_guard<std::mutex> lock(mu_);
+    return static_cast<double>(connections_.size());
+  }());
+}
+
+void Server::accept_loop() {
+  auto& metrics = telemetry::MetricsRegistry::global();
+  while (!stop_requested_.load()) {
+    pollfd fds[2];
+    fds[0] = {listen_fd_, POLLIN, 0};
+    fds[1] = {wake_pipe_[0], POLLIN, 0};
+    const int timeout_ms = options_.reload_poll_ms > 0
+                               ? static_cast<int>(options_.reload_poll_ms)
+                               : -1;
+    const int rc = ::poll(fds, 2, timeout_ms);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      ICLOG(error) << "serve: poll() failed: " << std::strerror(errno);
+      break;
+    }
+    reap_connections(/*join_all=*/false);
+    if (rc == 0) {
+      // Poll timeout: hot-reload tick.
+      registry_.poll_reload();
+      continue;
+    }
+    if (fds[1].revents != 0) break;  // woken by request_stop()
+    if ((fds[0].revents & POLLIN) == 0) continue;
+
+    const int client_fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (client_fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      ICLOG(error) << "serve: accept() failed: " << std::strerror(errno);
+      break;
+    }
+    metrics.counter("serve.connections").add(1);
+    auto conn = std::make_unique<Connection>();
+    conn->fd = client_fd;
+    Connection* raw = conn.get();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      connections_.push_back(std::move(conn));
+      metrics.gauge("serve.open_connections")
+          .set(static_cast<double>(connections_.size()));
+    }
+    raw->thread = std::thread([this, raw] { handle_connection(raw); });
+  }
+}
+
+void Server::handle_connection(Connection* conn) {
+  std::string buffer;
+  char chunk[4096];
+  bool close_connection = false;
+  while (!close_connection) {
+    const ssize_t n = ::recv(conn->fd, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;  // EOF or error
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t start = 0;
+    for (;;) {
+      const std::size_t nl = buffer.find('\n', start);
+      if (nl == std::string::npos) break;
+      const std::string line = buffer.substr(start, nl - start);
+      start = nl + 1;
+      if (line.empty() ||
+          line.find_first_not_of(" \t\r") == std::string::npos) {
+        continue;
+      }
+      const std::string response = handle_line(line, &close_connection);
+      if (!send_all(conn->fd, response + "\n")) {
+        close_connection = true;
+      }
+      if (close_connection) break;
+    }
+    buffer.erase(0, start);
+  }
+  conn->done.store(true);
+}
+
+std::string Server::handle_line(const std::string& line,
+                                bool* close_connection) {
+  JsonValue resp = JsonValue::object();
+  try {
+    const WireRequest req = parse_request(line);
+    if (req.has_id) {
+      resp.set("id", JsonValue::number(static_cast<double>(req.id)));
+    }
+    resp.set("op", JsonValue::string(req.op));
+    if (req.op == "ping") {
+      resp.set("ok", JsonValue::boolean(true));
+    } else if (req.op == "stats") {
+      resp.set("ok", JsonValue::boolean(true));
+      resp.set("queue_depth",
+               JsonValue::number(static_cast<double>(engine_.queue_depth())));
+      JsonValue models = JsonValue::array();
+      for (const auto& name : registry_.names()) {
+        models.push_back(JsonValue::string(name));
+      }
+      resp.set("models", std::move(models));
+      auto& metrics = telemetry::MetricsRegistry::global();
+      resp.set("requests", JsonValue::number(static_cast<double>(
+                               metrics.counter("serve.requests").value())));
+      resp.set("rejected", JsonValue::number(static_cast<double>(
+                               metrics.counter("serve.rejected").value())));
+      resp.set("deadline_exceeded",
+               JsonValue::number(static_cast<double>(
+                   metrics.counter("serve.deadline_exceeded").value())));
+      resp.set("errors", JsonValue::number(static_cast<double>(
+                             metrics.counter("serve.errors").value())));
+      resp.set("batches", JsonValue::number(static_cast<double>(
+                              metrics.counter("serve.batches").value())));
+      resp.set("feature_cache_hits",
+               JsonValue::number(static_cast<double>(
+                   metrics.counter("serve.feature_cache.hits").value())));
+      resp.set("feature_cache_misses",
+               JsonValue::number(static_cast<double>(
+                   metrics.counter("serve.feature_cache.misses").value())));
+    } else if (req.op == "shutdown") {
+      resp.set("ok", JsonValue::boolean(true));
+      *close_connection = true;
+      request_shutdown();
+      stop_cv_.notify_all();
+    } else {  // predict — parse_request only admits the four known ops
+      PredictRequest predict;
+      predict.model = req.model;
+      predict.circuit = req.circuit;
+      predict.selection = req.select;
+      predict.timeout_ms = req.timeout_ms;
+      const PredictResult result = engine_.predict(std::move(predict));
+      resp.set("ok", JsonValue::boolean(result.ok()));
+      resp.set("status", JsonValue::string(status_name(result.status)));
+      if (result.ok()) {
+        resp.set("log_runtime", JsonValue::number(result.log_runtime));
+        resp.set("seconds", JsonValue::number(result.seconds));
+        resp.set("model_version", JsonValue::number(static_cast<double>(
+                                      result.model_version)));
+      } else {
+        resp.set("error", JsonValue::string(result.error));
+      }
+    }
+  } catch (const std::exception& e) {
+    resp = JsonValue::object();
+    resp.set("ok", JsonValue::boolean(false));
+    resp.set("status", JsonValue::string("error"));
+    resp.set("error", JsonValue::string(e.what()));
+  }
+  return resp.dump();
+}
+
+}  // namespace ic::serve

@@ -1,0 +1,435 @@
+// Serving-layer coverage (DESIGN.md §9): model registry hot-reload, feature
+// cache, engine backpressure/deadlines/shutdown, and the TCP loopback path —
+// including bit-identical concurrent vs. serial predictions.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <fstream>
+#include <random>
+#include <thread>
+
+#include "ic/circuit/generator.hpp"
+#include "ic/core/estimator.hpp"
+#include "ic/data/features.hpp"
+#include "ic/serve/serve.hpp"
+
+namespace ic::serve {
+namespace {
+
+using circuit::GateId;
+using circuit::Netlist;
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "serve_" + name;
+}
+
+Netlist test_circuit() {
+  circuit::GeneratorSpec spec;
+  spec.num_inputs = 10;
+  spec.num_outputs = 5;
+  spec.num_gates = 64;
+  spec.seed = 42;
+  return circuit::generate_circuit(spec, "serve");
+}
+
+/// Synthetic labels — the serving layer never cares how labels were made, so
+/// tests skip the SAT attacks entirely.
+data::Dataset synthetic_dataset(std::shared_ptr<const Netlist> circuit,
+                                std::uint64_t seed) {
+  data::Dataset ds;
+  ds.circuit = std::move(circuit);
+  std::mt19937_64 rng(seed);
+  for (std::size_t i = 0; i < 10; ++i) {
+    data::Instance inst;
+    const std::size_t count = 1 + i % 4;
+    for (std::size_t g = 0; g < count; ++g) {
+      inst.selection.push_back(
+          static_cast<GateId>(rng() % ds.circuit->size()));
+    }
+    inst.runtime_seconds = 0.0005 * static_cast<double>(i + 1);
+    ds.instances.push_back(inst);
+  }
+  return ds;
+}
+
+/// Train-and-save a small model; `seed` varies the weights so hot-reload
+/// tests can produce a genuinely different file.
+void write_model(const std::string& path,
+                 std::shared_ptr<const Netlist> circuit, std::uint64_t seed) {
+  core::EstimatorOptions options;
+  options.hidden = {6, 4};
+  options.seed = seed;
+  options.train.max_epochs = 5;
+  core::RuntimeEstimator estimator(options);
+  estimator.fit(synthetic_dataset(std::move(circuit), seed));
+  estimator.save(path);
+}
+
+class ServeTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    circuit_ = std::make_shared<const Netlist>(test_circuit());
+    model_path_ = temp_path("model.txt");
+    write_model(model_path_, circuit_, 1);
+  }
+  static void TearDownTestSuite() { circuit_.reset(); }
+
+  static std::shared_ptr<const Netlist> circuit_;
+  static std::string model_path_;
+};
+
+std::shared_ptr<const Netlist> ServeTest::circuit_;
+std::string ServeTest::model_path_;
+
+// ---- ModelRegistry ---------------------------------------------------------
+
+TEST_F(ServeTest, RegistryLoadsSelfDescribingModel) {
+  ModelRegistry registry;
+  const auto snapshot = registry.load("default", model_path_);
+  ASSERT_NE(snapshot, nullptr);
+  EXPECT_EQ(snapshot->version, 1u);
+  EXPECT_EQ(snapshot->spec.version, 2);
+  EXPECT_EQ(snapshot->spec.config.hidden, (std::vector<std::size_t>{6, 4}));
+  EXPECT_EQ(registry.get("default"), snapshot);
+  EXPECT_EQ(registry.get("nope"), nullptr);
+  EXPECT_EQ(registry.size(), 1u);
+}
+
+TEST_F(ServeTest, RegistryHotReloadsChangedFileAtomically) {
+  const std::string path = temp_path("reload.txt");
+  write_model(path, circuit_, 1);
+  ModelRegistry registry;
+  const auto v1 = registry.load("m", path);
+  EXPECT_EQ(registry.poll_reload(), 0u) << "unchanged file must not reload";
+
+  // Ensure a distinct mtime even on coarse filesystem clocks.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  write_model(path, circuit_, 2);
+  EXPECT_EQ(registry.poll_reload(), 1u);
+  const auto v2 = registry.get("m");
+  ASSERT_NE(v2, nullptr);
+  EXPECT_EQ(v2->version, 2u);
+  // The old snapshot is untouched — in-flight readers keep a whole model.
+  EXPECT_EQ(v1->version, 1u);
+  EXPECT_NE(v1->model, v2->model);
+}
+
+TEST_F(ServeTest, RegistryKeepsServingWhenReloadFails) {
+  const std::string path = temp_path("reload_bad.txt");
+  write_model(path, circuit_, 1);
+  ModelRegistry registry;
+  registry.load("m", path);
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  std::ofstream(path) << "corrupted mid-write\n";
+  EXPECT_EQ(registry.poll_reload(), 0u);
+  const auto snapshot = registry.get("m");
+  ASSERT_NE(snapshot, nullptr);
+  EXPECT_EQ(snapshot->version, 1u) << "failed reload must keep the old model";
+
+  // Once the file is whole again, the next poll picks it up.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  write_model(path, circuit_, 3);
+  EXPECT_EQ(registry.poll_reload(), 1u);
+  EXPECT_EQ(registry.get("m")->version, 2u);
+}
+
+// ---- FeatureCache ----------------------------------------------------------
+
+TEST_F(ServeTest, FeatureCacheHitsOnSameCircuitAndMissesAcrossKinds) {
+  FeatureCache cache;
+  const auto a = cache.get(circuit_, data::FeatureSet::All,
+                           data::StructureKind::Adjacency);
+  EXPECT_EQ(cache.size(), 1u);
+  const auto b = cache.get(circuit_, data::FeatureSet::All,
+                           data::StructureKind::Adjacency);
+  EXPECT_EQ(a, b) << "second lookup must hit the cached entry";
+  EXPECT_EQ(cache.size(), 1u);
+
+  const auto c = cache.get(circuit_, data::FeatureSet::All,
+                           data::StructureKind::GcnNorm);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(cache.size(), 2u);
+
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST_F(ServeTest, FeatureCacheSelectionMatchesDirectFeaturization) {
+  FeatureCache cache;
+  const auto entry = cache.get(circuit_, data::FeatureSet::All,
+                               data::StructureKind::Adjacency);
+  const std::vector<GateId> selection = {1, 7, 20, 33};
+  const graph::Matrix cached = FeatureCache::features_for(*entry, selection);
+  const graph::Matrix direct =
+      data::gate_features(*circuit_, selection, data::FeatureSet::All);
+  ASSERT_EQ(cached.rows(), direct.rows());
+  ASSERT_EQ(cached.cols(), direct.cols());
+  for (std::size_t r = 0; r < cached.rows(); ++r) {
+    for (std::size_t c = 0; c < cached.cols(); ++c) {
+      EXPECT_EQ(cached(r, c), direct(r, c));
+    }
+  }
+}
+
+// ---- InferenceEngine -------------------------------------------------------
+
+PredictRequest request_for(std::vector<GateId> selection,
+                           std::int64_t timeout_ms = -1) {
+  PredictRequest request;
+  request.selection = std::move(selection);
+  request.timeout_ms = timeout_ms;
+  return request;
+}
+
+TEST_F(ServeTest, EngineRejectsBeyondMaxQueue) {
+  ModelRegistry registry;
+  registry.load("default", model_path_);
+  EngineOptions options;
+  options.max_queue = 3;
+  options.jobs = 1;
+  InferenceEngine engine(registry, options);
+  engine.register_circuit("default", circuit_);
+
+  engine.set_paused(true);  // queue fills deterministically
+  std::vector<std::future<PredictResult>> accepted;
+  for (int i = 0; i < 3; ++i) {
+    accepted.push_back(engine.submit(request_for({1, 2})));
+  }
+  EXPECT_EQ(engine.queue_depth(), 3u);
+
+  auto overflow = engine.submit(request_for({1, 2}));
+  ASSERT_EQ(overflow.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready)
+      << "backpressure must answer immediately";
+  const auto rejected = overflow.get();
+  EXPECT_EQ(rejected.status, RequestStatus::Rejected);
+  EXPECT_NE(rejected.error.find("queue full"), std::string::npos);
+
+  engine.set_paused(false);
+  for (auto& f : accepted) {
+    EXPECT_EQ(f.get().status, RequestStatus::Ok);
+  }
+}
+
+TEST_F(ServeTest, EngineExpiresDeadlinedRequests) {
+  ModelRegistry registry;
+  registry.load("default", model_path_);
+  EngineOptions options;
+  options.jobs = 1;
+  InferenceEngine engine(registry, options);
+  engine.register_circuit("default", circuit_);
+
+  engine.set_paused(true);
+  auto doomed = engine.submit(request_for({1, 2}, /*timeout_ms=*/1));
+  auto patient = engine.submit(request_for({1, 2}, /*timeout_ms=*/60000));
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  engine.set_paused(false);
+
+  const auto expired = doomed.get();
+  EXPECT_EQ(expired.status, RequestStatus::DeadlineExceeded);
+  EXPECT_EQ(patient.get().status, RequestStatus::Ok);
+}
+
+TEST_F(ServeTest, EngineReportsUnknownNamesAndBadSelections) {
+  ModelRegistry registry;
+  registry.load("default", model_path_);
+  EngineOptions options;
+  options.jobs = 1;
+  InferenceEngine engine(registry, options);
+  engine.register_circuit("default", circuit_);
+
+  auto bad_model = request_for({1});
+  bad_model.model = "missing";
+  EXPECT_EQ(engine.predict(bad_model).status, RequestStatus::Error);
+
+  auto bad_circuit = request_for({1});
+  bad_circuit.circuit = "missing";
+  EXPECT_EQ(engine.predict(bad_circuit).status, RequestStatus::Error);
+
+  const auto out_of_range = engine.predict(
+      request_for({static_cast<GateId>(circuit_->size() + 5)}));
+  EXPECT_EQ(out_of_range.status, RequestStatus::Error);
+  EXPECT_NE(out_of_range.error.find("out of range"), std::string::npos);
+}
+
+TEST_F(ServeTest, EngineStopAnswersQueuedWorkThenRejects) {
+  ModelRegistry registry;
+  registry.load("default", model_path_);
+  EngineOptions options;
+  options.jobs = 2;
+  InferenceEngine engine(registry, options);
+  engine.register_circuit("default", circuit_);
+
+  std::vector<std::future<PredictResult>> futures;
+  for (int i = 0; i < 20; ++i) {
+    futures.push_back(engine.submit(request_for({1, 2, 3})));
+  }
+  engine.stop();  // graceful: drains the queue before the batcher exits
+  for (auto& f : futures) {
+    EXPECT_EQ(f.get().status, RequestStatus::Ok);
+  }
+  EXPECT_EQ(engine.predict(request_for({1, 2})).status,
+            RequestStatus::Rejected);
+}
+
+TEST_F(ServeTest, EngineMatchesEstimatorBitForBit) {
+  // The serving fast path (cached featurization + per-executor replicas)
+  // must agree exactly with the offline RuntimeEstimator.
+  auto estimator = core::RuntimeEstimator::from_file(model_path_);
+  estimator.set_circuit(*circuit_);
+
+  ModelRegistry registry;
+  registry.load("default", model_path_);
+  EngineOptions options;
+  options.jobs = 3;
+  InferenceEngine engine(registry, options);
+  engine.register_circuit("default", circuit_);
+
+  std::mt19937_64 rng(7);
+  for (int i = 0; i < 12; ++i) {
+    std::vector<GateId> selection;
+    for (std::size_t g = 0; g < static_cast<std::size_t>(1 + i % 5); ++g) {
+      selection.push_back(static_cast<GateId>(rng() % circuit_->size()));
+    }
+    const auto served = engine.predict(request_for(selection));
+    ASSERT_EQ(served.status, RequestStatus::Ok) << served.error;
+    EXPECT_EQ(served.log_runtime, estimator.predict_log_runtime(selection));
+    EXPECT_EQ(served.seconds, estimator.predict_seconds(selection));
+  }
+}
+
+// ---- TCP server ------------------------------------------------------------
+
+TEST_F(ServeTest, ServerAnswersPingStatsAndPredicts) {
+  ModelRegistry registry;
+  registry.load("default", model_path_);
+  InferenceEngine engine(registry, {});
+  engine.register_circuit("default", circuit_);
+  ServerOptions server_options;
+  server_options.reload_poll_ms = 50;
+  Server server(engine, registry, server_options);
+  server.start();
+  ASSERT_GT(server.port(), 0);
+
+  Client client("127.0.0.1", server.port());
+  EXPECT_TRUE(client.ping().ok);
+
+  WireRequest request;
+  request.select = {3, 9, 17};
+  request.id = 41;
+  request.has_id = true;
+  const auto response = client.call(request);
+  EXPECT_TRUE(response.ok);
+  EXPECT_TRUE(response.has_id);
+  EXPECT_EQ(response.id, 41u);
+  EXPECT_GT(response.seconds, 0.0);
+
+  const auto stats = client.stats();
+  EXPECT_TRUE(stats.ok);
+  ASSERT_NE(stats.raw.find("models"), nullptr);
+  EXPECT_EQ(stats.raw.find("models")->items().size(), 1u);
+
+  WireRequest malformed;
+  malformed.op = "predict";  // empty selection → server-side error response
+  malformed.select = {static_cast<std::uint32_t>(circuit_->size() + 9)};
+  const auto error = client.call(malformed);
+  EXPECT_FALSE(error.ok);
+  EXPECT_EQ(error.status, "error");
+
+  server.shutdown();
+  engine.stop();
+}
+
+TEST_F(ServeTest, ConcurrentClientsMatchSerialBitForBit) {
+  // Serial reference pass first.
+  auto estimator = core::RuntimeEstimator::from_file(model_path_);
+  estimator.set_circuit(*circuit_);
+  constexpr int kClients = 8;
+  constexpr int kPerClient = 16;
+  std::vector<std::vector<std::vector<GateId>>> selections(kClients);
+  std::vector<std::vector<double>> expected(kClients);
+  std::mt19937_64 rng(13);
+  for (int c = 0; c < kClients; ++c) {
+    for (int i = 0; i < kPerClient; ++i) {
+      std::vector<GateId> sel;
+      for (std::size_t g = 0; g < static_cast<std::size_t>(1 + (c + i) % 4); ++g) {
+        sel.push_back(static_cast<GateId>(rng() % circuit_->size()));
+      }
+      expected[c].push_back(estimator.predict_log_runtime(sel));
+      selections[c].push_back(std::move(sel));
+    }
+  }
+
+  ModelRegistry registry;
+  registry.load("default", model_path_);
+  EngineOptions engine_options;
+  engine_options.jobs = 4;
+  engine_options.max_batch = 8;
+  InferenceEngine engine(registry, engine_options);
+  engine.register_circuit("default", circuit_);
+  Server server(engine, registry, {});
+  server.start();
+
+  std::vector<std::vector<double>> got(kClients);
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      Client client("127.0.0.1", server.port());
+      // Pipeline all requests on the connection, then read the answers in
+      // order — maximizes cross-client interleaving in the micro-batcher.
+      for (int i = 0; i < kPerClient; ++i) {
+        WireRequest request;
+        request.select.assign(selections[c][i].begin(),
+                              selections[c][i].end());
+        client.send(request);
+      }
+      for (int i = 0; i < kPerClient; ++i) {
+        const auto response = client.receive();
+        ASSERT_TRUE(response.ok) << response.error;
+        got[c].push_back(response.log_runtime);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  for (int c = 0; c < kClients; ++c) {
+    ASSERT_EQ(got[c].size(), expected[c].size());
+    for (int i = 0; i < kPerClient; ++i) {
+      EXPECT_EQ(got[c][i], expected[c][i])
+          << "client " << c << " request " << i
+          << " diverged from the serial reference";
+    }
+  }
+
+  server.shutdown();
+  engine.stop();
+}
+
+TEST_F(ServeTest, RemoteShutdownDrainsGracefully) {
+  ModelRegistry registry;
+  registry.load("default", model_path_);
+  InferenceEngine engine(registry, {});
+  engine.register_circuit("default", circuit_);
+  Server server(engine, registry, {});
+  server.start();
+  const int port = server.port();
+
+  Client worker("127.0.0.1", port);
+  WireRequest request;
+  request.select = {2, 4};
+  EXPECT_TRUE(worker.call(request).ok);
+
+  Client controller("127.0.0.1", port);
+  EXPECT_TRUE(controller.shutdown_server().ok);
+  server.wait();      // returns because the remote shutdown was requested
+  server.shutdown();  // joins handlers, drains the engine
+  EXPECT_FALSE(server.running());
+  engine.stop();
+
+  // The listener is gone: new connections must fail.
+  EXPECT_THROW(Client("127.0.0.1", port), std::exception);
+}
+
+}  // namespace
+}  // namespace ic::serve

@@ -3,8 +3,10 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 
 #include "ic/circuit/generator.hpp"
+#include "ic/support/assert.hpp"
 #include "ic/data/dataset_io.hpp"
 #include "ic/data/metrics.hpp"
 #include "ic/ml/regressor.hpp"
@@ -133,6 +135,35 @@ void flush_bench_metrics() {
   const char* path = std::getenv("ICNET_METRICS_OUT");
   if (path == nullptr || *path == '\0') return;
   ic::telemetry::dump_metrics(path);
+}
+
+void write_bench_json(const std::string& bench_name, const std::string& path) {
+  const auto gauges = ic::telemetry::MetricsRegistry::global().gauge_snapshot();
+  double jobs = 1.0;
+  if (const auto it = gauges.find("bench.jobs"); it != gauges.end()) {
+    jobs = it->second;
+  }
+  std::ofstream out(path);
+  IC_CHECK(out.good(), "write_bench_json: cannot open " << path);
+  out << "{\n  \"schema\": 1,\n  \"bench\": " << ic::json_quote(bench_name)
+      << ",\n  \"jobs\": " << static_cast<long long>(jobs)
+      << ",\n  \"metrics\": {";
+  bool first = true;
+  char buf[64];
+  for (const auto& [name, value] : gauges) {
+    if (name.rfind("bench.", 0) != 0 || name == "bench.jobs") continue;
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    out << (first ? "" : ",") << "\n    "
+        << ic::json_quote(name.substr(6)) << ": " << buf;
+    first = false;
+  }
+  out << "\n  }\n}\n";
+}
+
+void flush_bench_json(const std::string& bench_name) {
+  const char* path = std::getenv("ICNET_BENCH_OUT");
+  if (path == nullptr || *path == '\0') return;
+  write_bench_json(bench_name, path);
 }
 
 double evaluate_gnn(const Dataset& dataset, const Split& split,

@@ -76,4 +76,13 @@ void record_measurement(const std::string& name, double value);
 /// Immediate snapshot to ICNET_METRICS_OUT (no-op when unset).
 void flush_bench_metrics();
 
+/// Write the normalized benchmark document the regression gate compares:
+///   {"schema":1,"bench":<name>,"jobs":N,"metrics":{"<key>":value,...}}
+/// with one entry per `bench.*` gauge (the "bench." prefix stripped; keys
+/// sorted). scripts/bench_compare.py consumes these files.
+void write_bench_json(const std::string& bench_name, const std::string& path);
+
+/// write_bench_json to the path named by ICNET_BENCH_OUT (no-op when unset).
+void flush_bench_json(const std::string& bench_name);
+
 }  // namespace icbench

@@ -2,8 +2,9 @@
 // requests/s and latency percentiles as the engine's worker count grows,
 // plus the cold-vs-warm feature-cache effect. All numbers are recorded as
 // bench.serve.* gauges via the metrics registry (ICNET_METRICS_OUT snapshots
-// them), and the latency percentiles are estimated from the engine's own
-// serve.latency_seconds histogram.
+// them; ICNET_BENCH_OUT writes the normalized BENCH_serve.json), and the
+// latency percentiles come straight from Histogram::quantile on the engine's
+// own serve.request_seconds histogram.
 #include <sys/stat.h>
 
 #include <cstdio>
@@ -18,26 +19,6 @@
 #include "ic/support/timer.hpp"
 
 namespace {
-
-/// Percentile estimate from a fixed-bucket histogram: walk the cumulative
-/// counts and interpolate linearly inside the bucket that crosses `q`.
-double histogram_percentile(const ic::telemetry::Histogram& h, double q) {
-  const auto buckets = h.bucket_counts();
-  const auto& bounds = h.bounds();
-  const double target = q * static_cast<double>(h.count());
-  double cumulative = 0.0;
-  for (std::size_t i = 0; i < buckets.size(); ++i) {
-    const double next = cumulative + static_cast<double>(buckets[i]);
-    if (next >= target && buckets[i] > 0) {
-      const double lo = i == 0 ? h.min() : bounds[i - 1];
-      const double hi = i < bounds.size() ? bounds[i] : h.max();
-      const double frac = (target - cumulative) / static_cast<double>(buckets[i]);
-      return lo + frac * (hi - lo);
-    }
-    cumulative = next;
-  }
-  return h.max();
-}
 
 std::vector<std::vector<ic::circuit::GateId>> make_selections(
     std::size_t count, std::size_t num_gates) {
@@ -94,7 +75,7 @@ int main() {
   // Register the latency histogram before any engine touches it: first
   // creation fixes the bounds, and percentile estimates need buckets much
   // finer than the default decade-wide ones.
-  metrics.histogram("serve.latency_seconds",
+  metrics.histogram("serve.request_seconds",
                     ic::telemetry::Histogram::exponential_bounds(
                         1e-5, 1.5, 40));
 
@@ -145,7 +126,7 @@ int main() {
     ic::serve::PredictRequest warmup;
     warmup.selection = selections[0];
     engine.predict(warmup);
-    metrics.histogram("serve.latency_seconds").reset();
+    metrics.histogram("serve.request_seconds").reset();
 
     std::vector<std::future<ic::serve::PredictResult>> futures;
     futures.reserve(requests);
@@ -165,10 +146,10 @@ int main() {
     const double wall = timer.seconds();
     engine.stop();
 
-    const auto& latency = metrics.histogram("serve.latency_seconds");
+    const auto& latency = metrics.histogram("serve.request_seconds");
     const double rps = static_cast<double>(requests) / wall;
-    const double p50 = histogram_percentile(latency, 0.50);
-    const double p99 = histogram_percentile(latency, 0.99);
+    const double p50 = latency.quantile(0.50);
+    const double p99 = latency.quantile(0.99);
     std::printf("%8zu %12.0f %12.3f %12.3f\n", jobs, rps, p50 * 1e3,
                 p99 * 1e3);
     const std::string tag = "serve.jobs" + std::to_string(jobs);
@@ -178,5 +159,6 @@ int main() {
   }
 
   icbench::flush_bench_metrics();
+  icbench::flush_bench_json("serve");
   return 0;
 }

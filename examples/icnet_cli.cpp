@@ -12,10 +12,13 @@
 //                                         one prediction per output line
 //   icnet_cli serve   <circuit.bench> <model> --port P [--host H]
 //                     [--max-queue N] [--batch B] [--timeout-ms T]
-//                     [--reload-ms R]
+//                     [--reload-ms R] [--slow-ms T]
 //   icnet_cli query   --port P [--host H] --select "12,57,101"
-//                     [--op predict|ping|stats|shutdown] [--model M]
-//                     [--circuit C] [--timeout-ms T]
+//                     [--op predict|ping|stats|health|shutdown] [--model M]
+//                     [--circuit C] [--timeout-ms T] [--request-id ID]
+//                     [--format json|prometheus]   (stats only)
+//   icnet_cli stats   --port P [--host H] [--format json|prometheus]
+//   icnet_cli health  --port P [--host H]    exit 0 iff the server is ready
 //   icnet_cli gen     <out.bench> [--gates N] [--inputs N] [--outputs N]
 //                     [--seed S]
 //
@@ -25,7 +28,11 @@
 //   --trace-out <file>    record scoped trace spans and write them as Chrome
 //                         trace-event JSON (load in chrome://tracing)
 //   --metrics-out <file>  dump the metrics registry (counters, gauges,
-//                         histograms) as JSON when the command finishes
+//                         histograms) when the command finishes — JSON, or
+//                         Prometheus text when the file ends in .prom
+//   --metrics-interval <ms>  with --metrics-out: additionally snapshot the
+//                         registry to that file every <ms> milliseconds
+//                         (atomic tmp+rename), so scrapers see live values
 //
 // Parallelism, accepted by every subcommand:
 //   --jobs N              worker threads for the parallel loops (dataset
@@ -36,12 +43,14 @@
 //
 // Exit code 0 on success, 1 on runtime errors, 2 on usage errors (unknown
 // subcommand, malformed flags); errors go to stderr.
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <stdexcept>
 #include <string>
 
@@ -292,6 +301,7 @@ int cmd_serve(const Args& a) {
   engine_options.max_queue = std::stoul(opt(a, "max-queue", "1024"));
   engine_options.max_batch = std::stoul(opt(a, "batch", "32"));
   engine_options.default_timeout_ms = std::stoll(opt(a, "timeout-ms", "-1"));
+  engine_options.slow_request_ms = std::stoll(opt(a, "slow-ms", "-1"));
   ic::serve::InferenceEngine engine(registry, engine_options);
   engine.register_circuit("default", circuit);
 
@@ -329,6 +339,17 @@ int cmd_serve(const Args& a) {
   return 0;
 }
 
+/// Print a wire response: Prometheus payloads verbatim, everything else as
+/// the raw JSON document.
+void print_response(const ic::serve::WireResponse& response) {
+  const auto* prom = response.raw.find("prometheus");
+  if (prom != nullptr) {
+    std::fputs(prom->as_string().c_str(), stdout);
+  } else {
+    std::printf("%s\n", response.raw.dump().c_str());
+  }
+}
+
 int cmd_query(const Args& a) {
   const std::string port = opt(a, "port", "");
   IC_CHECK(!port.empty(), "query needs --port P");
@@ -339,6 +360,8 @@ int cmd_query(const Args& a) {
   request.model = opt(a, "model", "default");
   request.circuit = opt(a, "circuit", "default");
   request.timeout_ms = std::stoll(opt(a, "timeout-ms", "-1"));
+  request.request_id = opt(a, "request-id", "");
+  request.format = opt(a, "format", "");
   if (request.op == "predict") {
     request.select = parse_selection(opt(a, "select", ""));
     IC_CHECK(!request.select.empty(), "query needs --select \"id,id,...\"");
@@ -352,19 +375,51 @@ int cmd_query(const Args& a) {
   }
   if (request.op == "predict") {
     std::printf("predicted de-obfuscation runtime: %.6f s (log-label %.4f, "
-                "model v%llu)\n",
+                "model v%llu, request %s)\n",
                 response.seconds, response.log_runtime,
-                static_cast<unsigned long long>(response.model_version));
+                static_cast<unsigned long long>(response.model_version),
+                response.request_id.c_str());
   } else {
-    std::printf("%s\n", response.raw.dump().c_str());
+    print_response(response);
   }
   return 0;
 }
 
+int cmd_stats(const Args& a) {
+  const std::string port = opt(a, "port", "");
+  IC_CHECK(!port.empty(), "stats needs --port P");
+  ic::serve::Client client(opt(a, "host", "127.0.0.1"), std::stoi(port));
+  const auto response = client.stats(opt(a, "format", ""));
+  if (!response.ok) {
+    std::fprintf(stderr, "error: %s (%s)\n", response.error.c_str(),
+                 response.status.c_str());
+    return 1;
+  }
+  print_response(response);
+  return 0;
+}
+
+int cmd_health(const Args& a) {
+  const std::string port = opt(a, "port", "");
+  IC_CHECK(!port.empty(), "health needs --port P");
+  ic::serve::Client client(opt(a, "host", "127.0.0.1"), std::stoi(port));
+  const auto response = client.health();
+  if (!response.ok) {
+    std::fprintf(stderr, "error: %s (%s)\n", response.error.c_str(),
+                 response.status.c_str());
+    return 1;
+  }
+  print_response(response);
+  const auto* ready = response.raw.find("ready");
+  return (ready != nullptr && ready->as_bool()) ? 0 : 1;
+}
+
 void usage() {
   std::fprintf(stderr,
-               "usage: icnet_cli <lock|attack|dataset|train|predict|serve|query|gen> ...\n"
+               "usage: icnet_cli <lock|attack|dataset|train|predict|serve|query|"
+               "stats|health|gen> ...\n"
                "       [--jobs N] [--log-level L] [--trace-out F] [--metrics-out F]\n"
+               "       [--metrics-interval MS]\n"
                "see the header of examples/icnet_cli.cpp for details\n");
 }
 
@@ -376,6 +431,8 @@ int dispatch(const std::string& cmd, const Args& args) {
   if (cmd == "predict") return cmd_predict(args);
   if (cmd == "serve") return cmd_serve(args);
   if (cmd == "query") return cmd_query(args);
+  if (cmd == "stats") return cmd_stats(args);
+  if (cmd == "health") return cmd_health(args);
   if (cmd == "gen") return cmd_gen(args);
   usage();
   return 2;
@@ -390,12 +447,25 @@ int main(int argc, char** argv) {
   }
   const std::string cmd = argv[1];
   std::string trace_out, metrics_out;
+  std::unique_ptr<ic::telemetry::MetricsFlusher> flusher;
   auto flush_telemetry = [&]() {
     if (!trace_out.empty()) ic::telemetry::dump_trace(trace_out);
-    if (!metrics_out.empty()) ic::telemetry::dump_metrics(metrics_out);
+    if (flusher != nullptr) {
+      flusher->stop();  // joins the thread and writes the final snapshot
+    } else if (!metrics_out.empty()) {
+      if (metrics_out.size() >= 5 &&
+          metrics_out.compare(metrics_out.size() - 5, 5, ".prom") == 0) {
+        ic::telemetry::dump_prometheus(metrics_out);
+      } else {
+        ic::telemetry::dump_metrics(metrics_out);
+      }
+    }
   };
   try {
     Args args = parse_args(argc, argv, 2);
+    // Construct the logger up front: its ctor reads IC_LOG_LEVEL, and a bad
+    // value should warn even on runs that never emit a log line.
+    ic::telemetry::Logger::instance();
     const std::string log_level = take_opt(args, "log-level");
     if (!log_level.empty()) {
       ic::telemetry::Logger::instance().set_level(
@@ -405,6 +475,13 @@ int main(int argc, char** argv) {
     metrics_out = take_opt(args, "metrics-out");
     if (!trace_out.empty()) {
       ic::telemetry::TraceCollector::global().set_enabled(true);
+    }
+    const std::string metrics_interval = take_opt(args, "metrics-interval");
+    if (!metrics_interval.empty()) {
+      IC_CHECK(!metrics_out.empty(),
+               "--metrics-interval needs --metrics-out <file>");
+      flusher = std::make_unique<ic::telemetry::MetricsFlusher>(
+          metrics_out, std::chrono::milliseconds(std::stoll(metrics_interval)));
     }
     const std::string jobs = take_opt(args, "jobs");
     if (!jobs.empty()) {

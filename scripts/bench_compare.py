@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Compare a current benchmark document against a committed baseline and fail
+on regressions beyond the tolerance.
+
+Both files use the normalized schema written by icbench::write_bench_json and
+scripts/bench_report.py:
+
+    {"schema": 1, "bench": "<name>", "jobs": N, "metrics": {"<key>": value}}
+
+Direction is inferred from the key:
+  * keys containing "per_second" are throughput — higher is better;
+  * keys ending in "_seconds" are durations — lower is better;
+  * anything else (MSE and friends) is compared lower-is-better.
+
+Only *gate* keys — throughput and p99 latency — can fail the run (the CI
+bench-regression job's contract: >30% p99/throughput regression fails).
+Every other metric is reported but informational, since model-quality and
+p50 numbers move for legitimate reasons and CI machines are noisy.
+
+Usage: bench_compare.py <baseline.json> <current.json> [--tolerance 0.30]
+Exit codes: 0 ok, 1 gated regression, 2 usage/schema error.
+"""
+
+import argparse
+import json
+import sys
+
+
+def is_higher_better(key: str) -> bool:
+    return "per_second" in key
+
+
+def is_gate(key: str) -> bool:
+    return "per_second" in key or "p99" in key
+
+
+def load(path: str) -> dict:
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != 1 or "metrics" not in doc:
+        raise SystemExit(f"error: {path} is not a schema-1 bench document")
+    return doc
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--tolerance", type=float, default=0.30,
+                        help="allowed fractional regression on gate keys")
+    args = parser.parse_args()
+
+    baseline = load(args.baseline)
+    current = load(args.current)
+    if baseline.get("bench") != current.get("bench"):
+        print(f"warning: comparing bench '{current.get('bench')}' against "
+              f"baseline '{baseline.get('bench')}'")
+
+    base_metrics = baseline["metrics"]
+    cur_metrics = current["metrics"]
+    failures = []
+    rows = []
+    for key in sorted(set(base_metrics) & set(cur_metrics)):
+        base, cur = base_metrics[key], cur_metrics[key]
+        if base == 0:
+            rows.append((key, base, cur, None, ""))
+            continue
+        # Positive delta = regression, whichever direction is "better".
+        if is_higher_better(key):
+            delta = (base - cur) / abs(base)
+        else:
+            delta = (cur - base) / abs(base)
+        gated = is_gate(key)
+        verdict = ""
+        if delta > args.tolerance:
+            verdict = "FAIL" if gated else "warn"
+            if gated:
+                failures.append(key)
+        rows.append((key, base, cur, delta, verdict))
+
+    width = max((len(r[0]) for r in rows), default=10)
+    print(f"{'metric':<{width}} {'baseline':>14} {'current':>14} "
+          f"{'regression':>11} gate")
+    for key, base, cur, delta, verdict in rows:
+        delta_str = "n/a" if delta is None else f"{delta * 100:+.1f}%"
+        gate_str = "*" if is_gate(key) else ""
+        print(f"{key:<{width}} {base:>14.6g} {cur:>14.6g} "
+              f"{delta_str:>11} {gate_str:<2}{verdict}")
+
+    missing = sorted(set(base_metrics) - set(cur_metrics))
+    if missing:
+        print(f"warning: {len(missing)} baseline metrics missing from the "
+              f"current run: {', '.join(missing[:5])}")
+
+    if failures:
+        print(f"\nFAIL: {len(failures)} gated metrics regressed more than "
+              f"{args.tolerance * 100:.0f}%: {', '.join(failures)}")
+        return 1
+    print(f"\nOK: no gated metric regressed more than "
+          f"{args.tolerance * 100:.0f}% "
+          f"({sum(1 for r in rows if is_gate(r[0]))} gate metrics checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

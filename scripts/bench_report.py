@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Normalize a google-benchmark --benchmark_out JSON file into the repo's
+benchmark document schema:
+
+    {"schema": 1, "bench": "<name>", "jobs": N, "metrics": {"<key>": value}}
+
+Every benchmark contributes <name>.real_time_seconds (its per-iteration real
+time, converted to seconds) plus <name>.items_per_second when the bench set a
+throughput counter. The '/' in parameterized names (BM_Foo/256) becomes '.'
+so keys stay flat. scripts/bench_compare.py consumes these files; the C++
+benches emit the same schema directly via icbench::write_bench_json.
+
+Usage: bench_report.py <google-benchmark.json> <out.json> [--bench NAME]
+"""
+
+import argparse
+import json
+import sys
+
+TIME_UNIT_SECONDS = {"ns": 1e-9, "us": 1e-6, "ms": 1e-3, "s": 1.0}
+
+
+def normalize(raw: dict, bench_name: str) -> dict:
+    metrics = {}
+    for entry in raw.get("benchmarks", []):
+        if entry.get("run_type") == "aggregate":
+            continue  # keep only raw iterations; aggregates duplicate them
+        key = entry["name"].replace("/", ".")
+        scale = TIME_UNIT_SECONDS[entry.get("time_unit", "ns")]
+        metrics[f"{key}.real_time_seconds"] = entry["real_time"] * scale
+        if "items_per_second" in entry:
+            metrics[f"{key}.items_per_second"] = entry["items_per_second"]
+    if not metrics:
+        raise SystemExit("error: no benchmark entries found in input")
+    jobs = 1
+    context = raw.get("context", {})
+    if "num_cpus" in context:
+        # Informational only: google-benchmark runs are single-threaded here.
+        jobs = 1
+    return {
+        "schema": 1,
+        "bench": bench_name,
+        "jobs": jobs,
+        "metrics": dict(sorted(metrics.items())),
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("input", help="google-benchmark --benchmark_out file")
+    parser.add_argument("output", help="normalized document to write")
+    parser.add_argument("--bench", default="micro", help="bench name to stamp")
+    args = parser.parse_args()
+
+    with open(args.input) as f:
+        raw = json.load(f)
+    doc = normalize(raw, args.bench)
+    with open(args.output, "w") as f:
+        json.dump(doc, f, indent=2, sort_keys=False)
+        f.write("\n")
+    print(f"wrote {args.output}: {len(doc['metrics'])} metrics")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

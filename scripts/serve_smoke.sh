@@ -5,11 +5,16 @@
 # fires a few hundred concurrent queries at it from many connections, and
 # requires:
 #   * every in-deadline request is answered ok (zero drops),
+#   * {"op":"health"} reports ready,
+#   * {"op":"stats","format":"prometheus"} parses and shows a
+#     serve_request_seconds histogram with a nonzero _count,
 #   * the server shuts down gracefully (exit code 0) on {"op":"shutdown"}.
 #
 # Usage: scripts/serve_smoke.sh [path/to/icnet_cli]
 # SMOKE_CACHE_DIR (optional): directory holding/receiving the trained model,
 # so CI can cache it across runs instead of re-attacking the circuit.
+# SMOKE_ARTIFACT_DIR (optional): receives the server's --metrics-out and
+# --trace-out files for upload as CI artifacts.
 set -euo pipefail
 
 CLI=${1:-build/examples/icnet_cli}
@@ -34,9 +39,17 @@ else
   echo "== using cached model"
 fi
 
+TELEMETRY_FLAGS=()
+if [[ -n "${SMOKE_ARTIFACT_DIR:-}" ]]; then
+  mkdir -p "$SMOKE_ARTIFACT_DIR"
+  TELEMETRY_FLAGS=(--metrics-out "$SMOKE_ARTIFACT_DIR/serve_metrics.json"
+                   --trace-out "$SMOKE_ARTIFACT_DIR/serve_trace.json")
+fi
+
 echo "== starting server on 127.0.0.1:$PORT"
 "$CLI" serve "$CACHE/circuit.bench" "$CACHE/model.txt" --port "$PORT" \
-  --max-queue 4096 --batch 32 --jobs 4 > "$WORK/serve.log" 2>&1 &
+  --max-queue 4096 --batch 32 --jobs 4 "${TELEMETRY_FLAGS[@]}" \
+  > "$WORK/serve.log" 2>&1 &
 SERVE_PID=$!
 
 for _ in $(seq 1 100); do
@@ -93,6 +106,43 @@ PY
 
 echo "== checking server stats"
 "$CLI" query --port "$PORT" --op stats
+
+echo "== checking health"
+"$CLI" health --port "$PORT" > "$WORK/health.json"
+cat "$WORK/health.json"
+python3 - "$WORK/health.json" <<'PY'
+import json, sys
+
+health = json.load(open(sys.argv[1]))
+assert health.get("ready") is True, f"server not ready: {health}"
+assert health.get("models"), f"no models loaded: {health}"
+assert health.get("uptime_seconds", -1) >= 0, f"bad uptime: {health}"
+print(f"OK: ready with models {health['models']}")
+PY
+
+echo "== checking prometheus exposition"
+"$CLI" stats --port "$PORT" --format prometheus > "$WORK/metrics.prom"
+python3 - "$WORK/metrics.prom" <<'PY'
+import sys
+
+count = None
+for line in open(sys.argv[1]):
+    line = line.rstrip("\n")
+    if not line:
+        continue
+    if line.startswith("#"):
+        assert line.startswith("# TYPE "), f"unexpected comment: {line}"
+        continue
+    name, _, value = line.rpartition(" ")
+    assert name and value, f"unparseable sample line: {line}"
+    float(value)  # every sample value must be numeric
+    if name == "serve_request_seconds_count":
+        count = float(value)
+
+assert count is not None, "serve_request_seconds histogram missing"
+assert count > 0, "serve_request_seconds_count is zero after the blast"
+print(f"OK: parseable exposition, serve_request_seconds_count={count:.0f}")
+PY
 
 echo "== graceful shutdown"
 "$CLI" query --port "$PORT" --op shutdown

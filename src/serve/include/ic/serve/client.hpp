@@ -29,7 +29,13 @@ class Client {
   WireResponse receive();
 
   WireResponse ping();
-  WireResponse stats();
+  /// Live metrics snapshot. `format` is "" / "json" for the JSON fields, or
+  /// "prometheus" to receive the full registry as exposition text in the
+  /// response's "prometheus" field.
+  WireResponse stats(const std::string& format = "");
+  /// Readiness probe ({"op":"health"}): ready, models, queue depth/capacity,
+  /// uptime, build version.
+  WireResponse health();
   /// Ask the server to drain and stop; returns its acknowledgement.
   WireResponse shutdown_server();
 

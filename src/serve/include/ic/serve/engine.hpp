@@ -19,9 +19,16 @@
 //   everything already queued, then joins the batcher.
 //
 // Telemetry: counters serve.requests / serve.rejected /
-// serve.deadline_exceeded / serve.errors / serve.batches, gauge
-// serve.queue_depth, histogram serve.latency_seconds (submit → response),
-// spans serve/batch and serve/request.
+// serve.deadline_exceeded / serve.errors / serve.batches /
+// serve.slow_requests, gauge serve.queue_depth, histograms
+// serve.request_seconds (submit → response), serve.queue_wait_seconds
+// (submit → execution start) and serve.compute_seconds (execution alone),
+// spans serve/batch and serve/request (annotated with the request_id).
+// Requests slower end-to-end than the slow-request threshold
+// (EngineOptions::slow_request_ms, or the IC_SLOW_REQUEST_MS environment
+// variable when the option is left at -1) additionally emit one
+// "serve.slow_request" warn log line carrying the request_id, circuit
+// fingerprint, queue wait, and compute time.
 #pragma once
 
 #include <chrono>
@@ -50,6 +57,10 @@ struct EngineOptions {
   /// an explicit value gives the engine a private pool of that size.
   std::size_t jobs = 0;
   std::int64_t default_timeout_ms = -1;  ///< applied when a request has none
+  /// End-to-end latency (ms) above which a request logs a
+  /// "serve.slow_request" warn line. -1 = read IC_SLOW_REQUEST_MS from the
+  /// environment (absent/unparseable disables the log entirely).
+  std::int64_t slow_request_ms = -1;
 };
 
 enum class RequestStatus { Ok, Rejected, DeadlineExceeded, Error };
@@ -62,6 +73,10 @@ struct PredictRequest {
   std::string circuit = "default";
   std::vector<circuit::GateId> selection;
   std::int64_t timeout_ms = -1;  ///< -1 = engine default
+  /// End-to-end tracing id. Empty = submit() assigns "r-<n>"; the id is
+  /// echoed in the result, annotated on the serve/request trace span, and
+  /// printed by the slow-request log line.
+  std::string request_id;
 };
 
 struct PredictResult {
@@ -70,6 +85,7 @@ struct PredictResult {
   double log_runtime = 0.0;  ///< label scale: log(1 + runtime µs)
   double seconds = 0.0;
   std::uint64_t model_version = 0;
+  std::string request_id;  ///< echo of PredictRequest::request_id
 
   bool ok() const { return status == RequestStatus::Ok; }
 };
@@ -101,6 +117,9 @@ class InferenceEngine {
   void stop();
 
   std::size_t queue_depth() const;
+  /// Queue capacity (EngineOptions::max_queue) — readiness checks compare
+  /// depth against this.
+  std::size_t max_queue() const { return options_.max_queue; }
 
   /// Pause/resume the batcher (queued requests sit untouched while paused).
   /// Exists so tests can fill the queue deterministically; stop() resumes.
@@ -128,11 +147,15 @@ class InferenceEngine {
 
   void batcher_loop();
   PredictResult process(const Pending& pending, std::size_t executor);
+  PredictResult process_inner(const Pending& pending, std::size_t executor,
+                              std::chrono::steady_clock::time_point started);
   static std::future<PredictResult> immediate(PredictResult result);
 
   ModelRegistry& registry_;
   EngineOptions options_;
   FeatureCache features_;
+  std::int64_t slow_request_ms_ = -1;  ///< resolved option/env; -1 = off
+  std::atomic<std::uint64_t> next_request_id_{0};
 
   support::ThreadPool* pool_;                  // global or owned_pool_
   std::unique_ptr<support::ThreadPool> owned_pool_;

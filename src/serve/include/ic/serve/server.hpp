@@ -14,10 +14,22 @@
 //   4. InferenceEngine::drain() so every accepted request is answered.
 // A client can trigger this remotely with {"op":"shutdown"}.
 //
-// Telemetry: counter serve.connections, gauge serve.open_connections.
+// Admin ops (DESIGN.md §10): {"op":"stats"} answers a live metrics snapshot
+// (queue depth, request/error counters, p50/p99 latency, uptime);
+// {"op":"stats","format":"prometheus"} carries the full registry as
+// Prometheus text in the "prometheus" field; {"op":"health"} answers
+// readiness — ready ⇔ at least one model is loaded and the queue has spare
+// capacity. Every response echoes the client's request_id, or a
+// server-assigned "s-<n>" (predict ops defer to the engine's "r-<n>").
+//
+// Telemetry: counters serve.connections and serve.wire_errors (malformed
+// request lines), gauge serve.open_connections (RAII-maintained by the
+// connection handlers, so it counts live handler threads even when one
+// unwinds on an exception).
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <list>
@@ -81,6 +93,7 @@ class Server {
   void handle_connection(Connection* conn);
   std::string handle_line(const std::string& line, bool* close_connection);
   void reap_connections(bool join_all);
+  double uptime_seconds() const;
 
   InferenceEngine& engine_;
   ModelRegistry& registry_;
@@ -89,6 +102,8 @@ class Server {
   int listen_fd_ = -1;
   int wake_pipe_[2] = {-1, -1};
   int port_ = 0;
+  std::chrono::steady_clock::time_point started_at_{};
+  std::atomic<std::uint64_t> next_request_id_{0};
   std::atomic<bool> running_{false};
   std::atomic<bool> stop_requested_{false};
   std::thread accept_thread_;

@@ -10,15 +10,22 @@
 //   {"op":"predict","select":[12,57,101]}            predict on the default
 //                                                    model and circuit
 //   {"op":"predict","model":"m","circuit":"c",
-//    "select":[1,2],"timeout_ms":250,"id":7}         all fields
+//    "select":[1,2],"timeout_ms":250,"id":7,
+//    "request_id":"cli-42"}                          all fields
 //   {"op":"ping"}                                    liveness probe
-//   {"op":"stats"}                                   serving counters
+//   {"op":"stats"}                                   live metrics snapshot
+//   {"op":"stats","format":"prometheus"}             …as Prometheus text (in
+//                                                    the "prometheus" field)
+//   {"op":"health"}                                  readiness probe
 //   {"op":"shutdown"}                                graceful drain-then-stop
 //
 // Responses always carry "ok" plus, on success, the prediction
 // ("log_runtime", "seconds", "model_version") or op-specific fields; on
 // failure "error" and "status" (rejected | deadline | error). The request
-// "id", when present, is echoed back.
+// "id", when present, is echoed back. Every response also carries a
+// "request_id" string — the client's, when the request named one, otherwise
+// one the server assigned — which is the key for correlating a wire request
+// with its trace span and any serve.slow_request log line (DESIGN.md §10).
 #pragma once
 
 #include <cstdint>
@@ -70,19 +77,18 @@ class JsonValue {
   std::map<std::string, JsonValue> object_;
 };
 
-/// Escape + quote a string for JSON output.
-std::string json_quote(const std::string& s);
-
 // ---- typed request/response -------------------------------------------------
 
 struct WireRequest {
-  std::string op = "predict";  ///< predict | ping | stats | shutdown
+  std::string op = "predict";  ///< predict | ping | stats | health | shutdown
   std::string model = "default";
   std::string circuit = "default";
   std::vector<std::uint32_t> select;
   std::int64_t timeout_ms = -1;  ///< -1 = no per-request deadline
   std::uint64_t id = 0;          ///< echoed in the response
   bool has_id = false;
+  std::string request_id;  ///< tracing id; server-assigned when empty
+  std::string format;      ///< stats only: "" (JSON fields) | "prometheus"
 };
 
 struct WireResponse {
@@ -94,7 +100,8 @@ struct WireResponse {
   std::uint64_t model_version = 0;
   std::uint64_t id = 0;
   bool has_id = false;
-  JsonValue raw;  ///< full response document (stats fields etc.)
+  std::string request_id;  ///< always present in server responses
+  JsonValue raw;  ///< full response document (stats/health fields etc.)
 };
 
 /// Parse one request line. Throws std::runtime_error on malformed input

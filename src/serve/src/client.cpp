@@ -90,9 +90,16 @@ WireResponse Client::ping() {
   return call(request);
 }
 
-WireResponse Client::stats() {
+WireResponse Client::stats(const std::string& format) {
   WireRequest request;
   request.op = "stats";
+  request.format = format;
+  return call(request);
+}
+
+WireResponse Client::health() {
+  WireRequest request;
+  request.op = "health";
   return call(request);
 }
 

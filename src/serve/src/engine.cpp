@@ -1,6 +1,7 @@
 #include "ic/serve/engine.hpp"
 
 #include <cmath>
+#include <cstdlib>
 
 #include "ic/support/assert.hpp"
 #include "ic/support/log.hpp"
@@ -26,6 +27,14 @@ InferenceEngine::InferenceEngine(ModelRegistry& registry, EngineOptions options)
     : registry_(registry), options_(options) {
   IC_CHECK(options_.max_queue >= 1, "EngineOptions::max_queue must be >= 1");
   IC_CHECK(options_.max_batch >= 1, "EngineOptions::max_batch must be >= 1");
+  slow_request_ms_ = options_.slow_request_ms;
+  if (slow_request_ms_ < 0) {
+    if (const char* env = std::getenv("IC_SLOW_REQUEST_MS")) {
+      char* end = nullptr;
+      const long value = std::strtol(env, &end, 10);
+      if (end != env && *end == '\0' && value >= 0) slow_request_ms_ = value;
+    }
+  }
   if (options_.jobs == 0) {
     pool_ = &support::ThreadPool::global();
   } else {
@@ -60,6 +69,11 @@ std::future<PredictResult> InferenceEngine::submit(PredictRequest request) {
   const auto now = Clock::now();
   std::int64_t timeout_ms =
       request.timeout_ms >= 0 ? request.timeout_ms : options_.default_timeout_ms;
+  if (request.request_id.empty()) {
+    request.request_id =
+        "r-" + std::to_string(next_request_id_.fetch_add(1,
+                                  std::memory_order_relaxed) + 1);
+  }
 
   std::lock_guard<std::mutex> lock(mu_);
   if (stopping_) {
@@ -67,6 +81,7 @@ std::future<PredictResult> InferenceEngine::submit(PredictRequest request) {
     PredictResult rejected;
     rejected.status = RequestStatus::Rejected;
     rejected.error = "engine is shutting down";
+    rejected.request_id = std::move(request.request_id);
     return immediate(std::move(rejected));
   }
   if (queue_.size() >= options_.max_queue) {
@@ -75,6 +90,7 @@ std::future<PredictResult> InferenceEngine::submit(PredictRequest request) {
     rejected.status = RequestStatus::Rejected;
     rejected.error = "queue full (max_queue=" +
                      std::to_string(options_.max_queue) + ")";
+    rejected.request_id = std::move(request.request_id);
     return immediate(std::move(rejected));
   }
   auto pending = std::make_unique<Pending>();
@@ -98,9 +114,44 @@ PredictResult InferenceEngine::predict(PredictRequest request) {
 PredictResult InferenceEngine::process(const Pending& pending,
                                        std::size_t executor) {
   auto& metrics = telemetry::MetricsRegistry::global();
+  const PredictRequest& request = pending.request;
   telemetry::TraceSpan span("serve/request");
+  span.annotate("request_id", request.request_id);
+  const auto started = Clock::now();
+  const double queue_wait =
+      std::chrono::duration<double>(started - pending.enqueued).count();
+  metrics.histogram("serve.queue_wait_seconds").observe(queue_wait);
+  PredictResult out = process_inner(pending, executor, started);
+  out.request_id = request.request_id;
+  const double compute =
+      std::chrono::duration<double>(Clock::now() - started).count();
+  metrics.histogram("serve.compute_seconds").observe(compute);
+  if (slow_request_ms_ >= 0 &&
+      (queue_wait + compute) * 1e3 > static_cast<double>(slow_request_ms_)) {
+    metrics.counter("serve.slow_requests").add(1);
+    std::uint64_t fingerprint = 0;  // 0 when the circuit lookup itself failed
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      const auto it = circuits_.find(request.circuit);
+      if (it != circuits_.end()) fingerprint = it->second.fingerprint;
+    }
+    ICLOG(warn) << "serve.slow_request"
+                << telemetry::kv("request_id", request.request_id)
+                << telemetry::kv("circuit", request.circuit)
+                << telemetry::kv("fingerprint", fingerprint)
+                << telemetry::kv("queue_wait_s", queue_wait)
+                << telemetry::kv("compute_s", compute)
+                << telemetry::kv("status", status_name(out.status));
+  }
+  return out;
+}
+
+PredictResult InferenceEngine::process_inner(const Pending& pending,
+                                             std::size_t executor,
+                                             Clock::time_point started) {
+  auto& metrics = telemetry::MetricsRegistry::global();
   PredictResult out;
-  if (Clock::now() > pending.deadline) {
+  if (started > pending.deadline) {
     metrics.counter("serve.deadline_exceeded").add(1);
     out.status = RequestStatus::DeadlineExceeded;
     out.error = "deadline exceeded before execution";
@@ -163,7 +214,7 @@ PredictResult InferenceEngine::process(const Pending& pending,
 
 void InferenceEngine::batcher_loop() {
   auto& metrics = telemetry::MetricsRegistry::global();
-  auto& latency = metrics.histogram("serve.latency_seconds");
+  auto& latency = metrics.histogram("serve.request_seconds");
   for (;;) {
     std::vector<std::unique_ptr<Pending>> batch;
     {

@@ -14,6 +14,11 @@
 #include "ic/support/log.hpp"
 #include "ic/support/metrics.hpp"
 
+// Build stamp reported by {"op":"health"}; CMake passes the project version.
+#ifndef ICNET_VERSION
+#define ICNET_VERSION "unknown"
+#endif
+
 namespace ic::serve {
 
 namespace {
@@ -82,6 +87,7 @@ void Server::start() {
 
   stop_requested_.store(false);
   running_.store(true);
+  started_at_ = std::chrono::steady_clock::now();
   accept_thread_ = std::thread([this] { accept_loop(); });
   ICLOG(info) << "serve: listening on " << options_.host << ":" << port_;
 }
@@ -143,11 +149,6 @@ void Server::reap_connections(bool join_all) {
     if (conn->thread.joinable()) conn->thread.join();
     close_fd(&conn->fd);
   }
-  telemetry::MetricsRegistry::global().gauge("serve.open_connections").set([
-    this] {
-    std::lock_guard<std::mutex> lock(mu_);
-    return static_cast<double>(connections_.size());
-  }());
 }
 
 void Server::accept_loop() {
@@ -187,41 +188,55 @@ void Server::accept_loop() {
     {
       std::lock_guard<std::mutex> lock(mu_);
       connections_.push_back(std::move(conn));
-      metrics.gauge("serve.open_connections")
-          .set(static_cast<double>(connections_.size()));
     }
     raw->thread = std::thread([this, raw] { handle_connection(raw); });
   }
 }
 
 void Server::handle_connection(Connection* conn) {
-  std::string buffer;
-  char chunk[4096];
-  bool close_connection = false;
-  while (!close_connection) {
-    const ssize_t n = ::recv(conn->fd, chunk, sizeof(chunk), 0);
-    if (n < 0 && errno == EINTR) continue;
-    if (n <= 0) break;  // EOF or error
-    buffer.append(chunk, static_cast<std::size_t>(n));
-    std::size_t start = 0;
-    for (;;) {
-      const std::size_t nl = buffer.find('\n', start);
-      if (nl == std::string::npos) break;
-      const std::string line = buffer.substr(start, nl - start);
-      start = nl + 1;
-      if (line.empty() ||
-          line.find_first_not_of(" \t\r") == std::string::npos) {
-        continue;
+  // The guard keeps serve.open_connections exact even when the body below
+  // unwinds; the catch keeps an escaped exception from reaching the thread
+  // boundary (std::terminate).
+  telemetry::GaugeGuard open_guard(
+      telemetry::MetricsRegistry::global().gauge("serve.open_connections"));
+  try {
+    std::string buffer;
+    char chunk[4096];
+    bool close_connection = false;
+    while (!close_connection) {
+      const ssize_t n = ::recv(conn->fd, chunk, sizeof(chunk), 0);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) break;  // EOF or error
+      buffer.append(chunk, static_cast<std::size_t>(n));
+      std::size_t start = 0;
+      for (;;) {
+        const std::size_t nl = buffer.find('\n', start);
+        if (nl == std::string::npos) break;
+        const std::string line = buffer.substr(start, nl - start);
+        start = nl + 1;
+        if (line.empty() ||
+            line.find_first_not_of(" \t\r") == std::string::npos) {
+          continue;
+        }
+        const std::string response = handle_line(line, &close_connection);
+        if (!send_all(conn->fd, response + "\n")) {
+          close_connection = true;
+        }
+        if (close_connection) break;
       }
-      const std::string response = handle_line(line, &close_connection);
-      if (!send_all(conn->fd, response + "\n")) {
-        close_connection = true;
-      }
-      if (close_connection) break;
+      buffer.erase(0, start);
     }
-    buffer.erase(0, start);
+  } catch (const std::exception& e) {
+    ICLOG(error) << "serve: connection handler failed"
+                 << telemetry::kv("error", e.what());
   }
   conn->done.store(true);
+}
+
+double Server::uptime_seconds() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       started_at_)
+      .count();
 }
 
 std::string Server::handle_line(const std::string& line,
@@ -233,47 +248,95 @@ std::string Server::handle_line(const std::string& line,
       resp.set("id", JsonValue::number(static_cast<double>(req.id)));
     }
     resp.set("op", JsonValue::string(req.op));
+    // Every response carries a request_id. Predict defers to the engine
+    // (whose "r-<n>" id also names the trace span and slow-request log);
+    // every other op gets the client's id or a server-assigned "s-<n>".
+    std::string request_id = req.request_id;
+    if (request_id.empty() && req.op != "predict") {
+      request_id =
+          "s-" + std::to_string(next_request_id_.fetch_add(
+                     1, std::memory_order_relaxed) + 1);
+    }
     if (req.op == "ping") {
       resp.set("ok", JsonValue::boolean(true));
-    } else if (req.op == "stats") {
+    } else if (req.op == "health") {
+      auto& metrics = telemetry::MetricsRegistry::global();
+      const std::size_t depth = engine_.queue_depth();
+      const std::size_t capacity = engine_.max_queue();
+      const bool ready = registry_.size() > 0 && depth < capacity;
       resp.set("ok", JsonValue::boolean(true));
-      resp.set("queue_depth",
-               JsonValue::number(static_cast<double>(engine_.queue_depth())));
+      resp.set("ready", JsonValue::boolean(ready));
+      resp.set("status", JsonValue::string(ready ? "ready" : "unavailable"));
       JsonValue models = JsonValue::array();
       for (const auto& name : registry_.names()) {
         models.push_back(JsonValue::string(name));
       }
       resp.set("models", std::move(models));
+      resp.set("queue_depth", JsonValue::number(static_cast<double>(depth)));
+      resp.set("max_queue", JsonValue::number(static_cast<double>(capacity)));
+      resp.set("uptime_seconds", JsonValue::number(uptime_seconds()));
+      resp.set("version", JsonValue::string(ICNET_VERSION));
+      resp.set("open_connections",
+               JsonValue::number(
+                   metrics.gauge("serve.open_connections").value()));
+    } else if (req.op == "stats") {
       auto& metrics = telemetry::MetricsRegistry::global();
-      resp.set("requests", JsonValue::number(static_cast<double>(
-                               metrics.counter("serve.requests").value())));
-      resp.set("rejected", JsonValue::number(static_cast<double>(
-                               metrics.counter("serve.rejected").value())));
-      resp.set("deadline_exceeded",
-               JsonValue::number(static_cast<double>(
-                   metrics.counter("serve.deadline_exceeded").value())));
-      resp.set("errors", JsonValue::number(static_cast<double>(
-                             metrics.counter("serve.errors").value())));
-      resp.set("batches", JsonValue::number(static_cast<double>(
-                              metrics.counter("serve.batches").value())));
-      resp.set("feature_cache_hits",
-               JsonValue::number(static_cast<double>(
-                   metrics.counter("serve.feature_cache.hits").value())));
-      resp.set("feature_cache_misses",
-               JsonValue::number(static_cast<double>(
-                   metrics.counter("serve.feature_cache.misses").value())));
+      resp.set("ok", JsonValue::boolean(true));
+      if (req.format == "prometheus") {
+        // The JSON-lines framing cannot carry raw multi-line exposition
+        // text, so the full registry rides in one string field; clients
+        // (icnet_cli stats --format prometheus) print it verbatim.
+        resp.set("prometheus", JsonValue::string(metrics.to_prometheus()));
+      } else {
+        resp.set("queue_depth",
+                 JsonValue::number(static_cast<double>(engine_.queue_depth())));
+        JsonValue models = JsonValue::array();
+        for (const auto& name : registry_.names()) {
+          models.push_back(JsonValue::string(name));
+        }
+        resp.set("models", std::move(models));
+        resp.set("uptime_seconds", JsonValue::number(uptime_seconds()));
+        resp.set("requests", JsonValue::number(static_cast<double>(
+                                 metrics.counter("serve.requests").value())));
+        resp.set("rejected", JsonValue::number(static_cast<double>(
+                                 metrics.counter("serve.rejected").value())));
+        resp.set("deadline_exceeded",
+                 JsonValue::number(static_cast<double>(
+                     metrics.counter("serve.deadline_exceeded").value())));
+        resp.set("errors", JsonValue::number(static_cast<double>(
+                               metrics.counter("serve.errors").value())));
+        resp.set("batches", JsonValue::number(static_cast<double>(
+                                metrics.counter("serve.batches").value())));
+        resp.set("slow_requests",
+                 JsonValue::number(static_cast<double>(
+                     metrics.counter("serve.slow_requests").value())));
+        resp.set("wire_errors",
+                 JsonValue::number(static_cast<double>(
+                     metrics.counter("serve.wire_errors").value())));
+        resp.set("feature_cache_hits",
+                 JsonValue::number(static_cast<double>(
+                     metrics.counter("serve.feature_cache.hits").value())));
+        resp.set("feature_cache_misses",
+                 JsonValue::number(static_cast<double>(
+                     metrics.counter("serve.feature_cache.misses").value())));
+        const auto& latency = metrics.histogram("serve.request_seconds");
+        resp.set("p50_latency_seconds", JsonValue::number(latency.quantile(0.5)));
+        resp.set("p99_latency_seconds", JsonValue::number(latency.quantile(0.99)));
+      }
     } else if (req.op == "shutdown") {
       resp.set("ok", JsonValue::boolean(true));
       *close_connection = true;
       request_shutdown();
       stop_cv_.notify_all();
-    } else {  // predict — parse_request only admits the four known ops
+    } else {  // predict — parse_request only admits the known ops
       PredictRequest predict;
       predict.model = req.model;
       predict.circuit = req.circuit;
       predict.selection = req.select;
       predict.timeout_ms = req.timeout_ms;
+      predict.request_id = request_id;  // may be empty: engine assigns
       const PredictResult result = engine_.predict(std::move(predict));
+      request_id = result.request_id;
       resp.set("ok", JsonValue::boolean(result.ok()));
       resp.set("status", JsonValue::string(status_name(result.status)));
       if (result.ok()) {
@@ -285,7 +348,9 @@ std::string Server::handle_line(const std::string& line,
         resp.set("error", JsonValue::string(result.error));
       }
     }
+    resp.set("request_id", JsonValue::string(request_id));
   } catch (const std::exception& e) {
+    telemetry::MetricsRegistry::global().counter("serve.wire_errors").add(1);
     resp = JsonValue::object();
     resp.set("ok", JsonValue::boolean(false));
     resp.set("status", JsonValue::string("error"));

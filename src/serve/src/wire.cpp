@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "ic/support/assert.hpp"
+#include "ic/support/strings.hpp"
 
 namespace ic::serve {
 
@@ -288,31 +289,6 @@ void dump_number(std::ostream& os, double v) {
 
 }  // namespace
 
-std::string json_quote(const std::string& s) {
-  std::string out = "\"";
-  for (const char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\b': out += "\\b"; break;
-      case '\f': out += "\\f"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out.push_back(c);
-        }
-    }
-  }
-  out.push_back('"');
-  return out;
-}
-
 JsonValue JsonValue::parse(const std::string& text) {
   return Parser(text).parse_document();
 }
@@ -356,7 +332,7 @@ WireRequest parse_request(const std::string& line) {
   WireRequest req;
   if (const JsonValue* op = doc.find("op")) req.op = op->as_string();
   IC_CHECK(req.op == "predict" || req.op == "ping" || req.op == "stats" ||
-               req.op == "shutdown",
+               req.op == "health" || req.op == "shutdown",
            "unknown op '" << req.op << "'");
   if (const JsonValue* model = doc.find("model")) req.model = model->as_string();
   if (const JsonValue* circuit = doc.find("circuit")) {
@@ -376,6 +352,15 @@ WireRequest parse_request(const std::string& line) {
   if (const JsonValue* id = doc.find("id")) {
     req.id = static_cast<std::uint64_t>(id->as_number());
     req.has_id = true;
+  }
+  if (const JsonValue* rid = doc.find("request_id")) {
+    req.request_id = rid->as_string();
+  }
+  if (const JsonValue* format = doc.find("format")) {
+    req.format = format->as_string();
+    IC_CHECK(req.format.empty() || req.format == "json" ||
+                 req.format == "prometheus",
+             "unknown stats format '" << req.format << "'");
   }
   if (req.op == "predict") {
     IC_CHECK(!req.select.empty(), "predict needs a non-empty select array");
@@ -399,8 +384,14 @@ std::string encode_request(const WireRequest& request) {
               JsonValue::number(static_cast<double>(request.timeout_ms)));
     }
   }
+  if (request.op == "stats" && !request.format.empty()) {
+    doc.set("format", JsonValue::string(request.format));
+  }
   if (request.has_id) {
     doc.set("id", JsonValue::number(static_cast<double>(request.id)));
+  }
+  if (!request.request_id.empty()) {
+    doc.set("request_id", JsonValue::string(request.request_id));
   }
   return doc.dump();
 }
@@ -426,6 +417,9 @@ WireResponse parse_response(const std::string& line) {
   if (const JsonValue* v = resp.raw.find("id")) {
     resp.id = static_cast<std::uint64_t>(v->as_number());
     resp.has_id = true;
+  }
+  if (const JsonValue* v = resp.raw.find("request_id")) {
+    resp.request_id = v->as_string();
   }
   return resp;
 }

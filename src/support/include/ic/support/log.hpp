@@ -43,8 +43,16 @@ double process_seconds();
 std::int64_t process_micros();
 
 /// Parses "trace"/"debug"/"info"/"warn"/"error"/"off" (case-insensitive).
-/// Unrecognized strings yield `fallback`.
-Level parse_level(const std::string& text, Level fallback);
+/// Unrecognized strings yield `fallback`; when `recognized` is non-null it
+/// reports whether `text` named a real level, so callers (the IC_LOG_LEVEL
+/// bootstrap, the CLI's --log-level) can warn instead of silently falling
+/// back.
+Level parse_level(const std::string& text, Level fallback,
+                  bool* recognized = nullptr);
+
+/// The accepted spellings, for parse-failure diagnostics:
+/// "trace|debug|info|warn|error|off".
+const char* level_names();
 
 /// Where finished log lines go. write() must be callable from any thread;
 /// the logger serializes calls.

@@ -39,11 +39,27 @@ class Counter {
 class Gauge {
  public:
   void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  /// Atomic increment (negative delta decrements) — for up/down gauges such
+  /// as open-connection counts maintained by RAII guards.
+  void add(double delta);
   double value() const { return value_.load(std::memory_order_relaxed); }
   void reset() { value_.store(0.0, std::memory_order_relaxed); }
 
  private:
   std::atomic<double> value_{0.0};
+};
+
+/// RAII increment/decrement of a Gauge: +1 on construction, -1 on
+/// destruction, so a throwing scope can never leak the count.
+class GaugeGuard {
+ public:
+  explicit GaugeGuard(Gauge& gauge) : gauge_(gauge) { gauge_.add(1.0); }
+  ~GaugeGuard() { gauge_.add(-1.0); }
+  GaugeGuard(const GaugeGuard&) = delete;
+  GaugeGuard& operator=(const GaugeGuard&) = delete;
+
+ private:
+  Gauge& gauge_;
 };
 
 /// Fixed-bucket histogram: bucket i counts observations ≤ bounds[i], with an
@@ -64,6 +80,15 @@ class Histogram {
   const std::vector<double>& bounds() const { return bounds_; }
   /// bounds().size() + 1 entries; the last is the overflow bucket.
   std::vector<std::uint64_t> bucket_counts() const;
+
+  /// Quantile estimate in [0, 1]: walks the cumulative bucket counts and
+  /// interpolates linearly inside the bucket that crosses rank q·count.
+  /// The exact tracked min/max clamp both ends — quantile(0) == min(),
+  /// quantile(1) == max(), and no estimate can leave [min, max] — so the
+  /// first and last buckets never widen the answer past observed data.
+  /// Returns 0 when the histogram is empty.
+  double quantile(double q) const;
+
   std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
   double sum() const { return sum_.load(std::memory_order_relaxed); }
   double min() const;
@@ -99,6 +124,18 @@ class MetricsRegistry {
   void write_json(std::ostream& os) const;
   std::string to_json() const;
 
+  /// Prometheus text exposition (version 0.0.4): every counter, gauge, and
+  /// histogram with a `# TYPE` header. Names are sanitized to the Prometheus
+  /// charset (`.` and any other illegal character become `_`); histograms
+  /// render the standard cumulative `_bucket{le="..."}` series plus `_sum`
+  /// and `_count`.
+  void write_prometheus(std::ostream& os) const;
+  std::string to_prometheus() const;
+
+  /// Point-in-time snapshot of every gauge, name → value. Used by the bench
+  /// pipeline to turn `bench.*` gauges into a normalized BENCH_*.json.
+  std::map<std::string, double> gauge_snapshot() const;
+
   /// Zero every instrument (names stay registered; references stay valid).
   void reset();
 
@@ -108,5 +145,15 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
 };
+
+/// A metric name rewritten to the Prometheus charset [a-zA-Z0-9_:]: every
+/// other character (the registry's `.` separators included) becomes `_`, and
+/// a leading digit gains a `_` prefix. "serve.request_seconds" →
+/// "serve_request_seconds".
+std::string prometheus_name(const std::string& name);
+
+/// MetricsRegistry::global().write_prometheus(os) — the exposition endpoint
+/// helper named by DESIGN.md §10.
+void write_prometheus(std::ostream& os);
 
 }  // namespace ic::telemetry

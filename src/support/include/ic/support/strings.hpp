@@ -26,4 +26,14 @@ std::string to_upper(std::string_view s);
 /// magnitudes, scientific (e.g. "2.1450e+25") for huge ones.
 std::string format_mse(double v);
 
+/// Escape `s` for use inside a JSON string literal (no surrounding quotes):
+/// `"` and `\` are backslash-escaped, common control characters use their
+/// short forms (\n, \t, ...), anything else below 0x20 becomes \u00XX.
+/// Every JSON writer in the tree (metrics, traces, the wire protocol) goes
+/// through this one helper so none of them can disagree on validity.
+std::string escape_json(std::string_view s);
+
+/// escape_json wrapped in double quotes — a complete JSON string literal.
+std::string json_quote(std::string_view s);
+
 }  // namespace ic

@@ -3,11 +3,16 @@
 // (trace.hpp) — plus the file-dump helpers shared by the CLI and benches.
 //
 // Environment variables honoured by the subsystem:
-//   IC_LOG_LEVEL       trace|debug|info|warn|error|off   (default: warn)
+//   IC_LOG_LEVEL       trace|debug|info|warn|error|off   (default: warn;
+//                      unrecognized values warn once and fall back)
 //   ICNET_METRICS_OUT  path; benches snapshot the registry there on exit
 #pragma once
 
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
 #include <string>
+#include <thread>
 
 #include "ic/support/log.hpp"
 #include "ic/support/metrics.hpp"
@@ -18,7 +23,45 @@ namespace ic::telemetry {
 /// Write the global metrics registry as JSON to `path` (overwrites).
 void dump_metrics(const std::string& path);
 
+/// Write the global metrics registry in Prometheus text exposition format to
+/// `path` (overwrites).
+void dump_prometheus(const std::string& path);
+
 /// Write the global trace buffer as Chrome trace-event JSON to `path`.
 void dump_trace(const std::string& path);
+
+/// Background thread that periodically snapshots the global metrics registry
+/// to a file, so long-running commands (train, attack, serve) expose live
+/// progress instead of only an exit-time dump. Each snapshot is written to
+/// `path + ".tmp"` and renamed into place, so a concurrent reader (or
+/// Prometheus textfile collector) never sees a half-written file.
+///
+/// Format follows the file extension: ".prom" writes Prometheus text
+/// exposition, anything else the registry's JSON document. The destructor
+/// stops the thread and writes one final snapshot.
+class MetricsFlusher {
+ public:
+  MetricsFlusher(std::string path, std::chrono::milliseconds interval);
+  ~MetricsFlusher();  ///< stop() — joins the thread, flushes once more
+  MetricsFlusher(const MetricsFlusher&) = delete;
+  MetricsFlusher& operator=(const MetricsFlusher&) = delete;
+
+  /// Join the flusher thread and write a final snapshot. Idempotent.
+  void stop();
+
+  /// One snapshot now (also what the background thread calls each tick).
+  void flush() const;
+
+ private:
+  void loop();
+
+  std::string path_;
+  bool prometheus_ = false;
+  std::chrono::milliseconds interval_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  std::thread thread_;
+};
 
 }  // namespace ic::telemetry

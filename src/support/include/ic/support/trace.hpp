@@ -18,6 +18,7 @@
 #include <mutex>
 #include <ostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace ic::telemetry {
@@ -28,6 +29,9 @@ struct TraceEvent {
   std::int64_t ts_us = 0;   ///< begin, µs since the process telemetry epoch
   std::int64_t dur_us = 0;  ///< duration in µs
   std::uint64_t tid = 0;    ///< hashed std::thread::id
+  /// Key/value annotations, rendered as the Chrome event's "args" object —
+  /// how a serve request's request_id lands on its span.
+  std::vector<std::pair<std::string, std::string>> args;
 };
 
 /// Process-wide buffer of finished spans.
@@ -68,10 +72,16 @@ class TraceSpan {
   /// Close early (idempotent) — for spans that end mid-scope.
   void end();
 
+  /// Attach a key/value pair to the span (shows up under "args" in the
+  /// Chrome trace). No-op on an inactive span, so annotation in hot paths
+  /// costs nothing while collection is disabled.
+  void annotate(const char* key, std::string value);
+
  private:
   const char* name_;
   std::int64_t start_us_ = 0;
   bool active_ = false;
+  std::vector<std::pair<std::string, std::string>> args_;
 };
 
 }  // namespace ic::telemetry

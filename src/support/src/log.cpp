@@ -53,7 +53,8 @@ const char* level_name(Level level) {
   return "?";
 }
 
-Level parse_level(const std::string& text, Level fallback) {
+Level parse_level(const std::string& text, Level fallback, bool* recognized) {
+  if (recognized != nullptr) *recognized = true;
   std::string lower;
   lower.reserve(text.size());
   for (char c : text) lower.push_back(static_cast<char>(std::tolower(c)));
@@ -63,8 +64,11 @@ Level parse_level(const std::string& text, Level fallback) {
   if (lower == "warn" || lower == "warning") return Level::warn;
   if (lower == "error") return Level::error;
   if (lower == "off" || lower == "none") return Level::off;
+  if (recognized != nullptr) *recognized = false;
   return fallback;
 }
+
+const char* level_names() { return "trace|debug|info|warn|error|off"; }
 
 void StderrSink::write(const std::string& line) {
   std::fprintf(stderr, "%s\n", line.c_str());
@@ -102,8 +106,18 @@ Logger::Logger()
     : level_(static_cast<int>(Level::warn)), sink_(std::make_shared<StderrSink>()) {
   const char* env = std::getenv("IC_LOG_LEVEL");
   if (env != nullptr && *env != '\0') {
-    level_.store(static_cast<int>(parse_level(env, Level::warn)),
+    bool recognized = true;
+    level_.store(static_cast<int>(parse_level(env, Level::warn, &recognized)),
                  std::memory_order_relaxed);
+    if (!recognized) {
+      // Straight to stderr: the logger is mid-construction here, and ICLOG
+      // would re-enter Logger::instance(). The ctor runs once, so the
+      // warning is naturally one-time.
+      std::fprintf(stderr,
+                   "icnet: IC_LOG_LEVEL='%s' is not a log level (accepted: "
+                   "%s); falling back to 'warn'\n",
+                   env, level_names());
+    }
   }
 }
 

@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "ic/support/assert.hpp"
+#include "ic/support/strings.hpp"
 
 namespace ic::telemetry {
 
@@ -47,27 +48,26 @@ void write_number(std::ostream& os, double v) {
 }
 
 void write_string(std::ostream& os, const std::string& s) {
-  os << '"';
-  for (char c : s) {
-    switch (c) {
-      case '"': os << "\\\""; break;
-      case '\\': os << "\\\\"; break;
-      case '\n': os << "\\n"; break;
-      case '\t': os << "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          os << buf;
-        } else {
-          os << c;
-        }
-    }
+  os << ic::json_quote(s);
+}
+
+/// Prometheus sample value: %.17g round-trips doubles, and the format allows
+/// +Inf/-Inf/NaN spellings directly.
+void write_prom_number(std::ostream& os, double v) {
+  if (std::isnan(v)) {
+    os << "NaN";
+  } else if (std::isinf(v)) {
+    os << (v > 0 ? "+Inf" : "-Inf");
+  } else {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    os << buf;
   }
-  os << '"';
 }
 
 }  // namespace
+
+void Gauge::add(double delta) { atomic_add(value_, delta); }
 
 Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
   IC_ASSERT(!bounds_.empty());
@@ -108,6 +108,36 @@ std::vector<std::uint64_t> Histogram::bucket_counts() const {
 
 double Histogram::min() const { return min_.load(std::memory_order_relaxed); }
 double Histogram::max() const { return max_.load(std::memory_order_relaxed); }
+
+double Histogram::quantile(double q) const {
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  const double lo_clamp = min();
+  const double hi_clamp = max();
+  if (q <= 0.0) return lo_clamp;
+  if (q >= 1.0) return hi_clamp;
+  const double target = q * static_cast<double>(n);
+  const auto counts = bucket_counts();
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    const double next = cumulative + static_cast<double>(counts[i]);
+    if (next >= target) {
+      // Interpolate inside this bucket, with its edges tightened to the
+      // exact observed range so sparse buckets cannot widen the estimate.
+      const double lo =
+          std::max(i == 0 ? lo_clamp : bounds_[i - 1], lo_clamp);
+      const double hi =
+          std::min(i < bounds_.size() ? bounds_[i] : hi_clamp, hi_clamp);
+      const double frac =
+          (target - cumulative) / static_cast<double>(counts[i]);
+      const double v = lo + frac * (hi - lo);
+      return std::min(std::max(v, lo_clamp), hi_clamp);
+    }
+    cumulative = next;
+  }
+  return hi_clamp;
+}
 
 void Histogram::reset() {
   for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
@@ -208,6 +238,76 @@ std::string MetricsRegistry::to_json() const {
   std::ostringstream os;
   write_json(os);
   return os.str();
+}
+
+void MetricsRegistry::write_prometheus(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, c] : counters_) {
+    const std::string prom = prometheus_name(name);
+    os << "# TYPE " << prom << " counter\n";
+    os << prom << ' ' << c->value() << '\n';
+  }
+  for (const auto& [name, g] : gauges_) {
+    const std::string prom = prometheus_name(name);
+    os << "# TYPE " << prom << " gauge\n";
+    os << prom << ' ';
+    write_prom_number(os, g->value());
+    os << '\n';
+  }
+  for (const auto& [name, h] : histograms_) {
+    const std::string prom = prometheus_name(name);
+    os << "# TYPE " << prom << " histogram\n";
+    const auto& bounds = h->bounds();
+    const auto counts = h->bucket_counts();
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      cumulative += counts[i];
+      os << prom << "_bucket{le=\"";
+      if (i < bounds.size()) {
+        write_prom_number(os, bounds[i]);
+      } else {
+        os << "+Inf";
+      }
+      os << "\"} " << cumulative << '\n';
+    }
+    os << prom << "_sum ";
+    write_prom_number(os, h->sum());
+    os << '\n';
+    // _count must equal the +Inf bucket even while observers race, so it is
+    // derived from the same bucket reads rather than the count_ atomic.
+    os << prom << "_count " << cumulative << '\n';
+  }
+}
+
+std::string MetricsRegistry::to_prometheus() const {
+  std::ostringstream os;
+  write_prometheus(os);
+  return os.str();
+}
+
+std::map<std::string, double> MetricsRegistry::gauge_snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, double> out;
+  for (const auto& [name, g] : gauges_) out[name] = g->value();
+  return out;
+}
+
+std::string prometheus_name(const std::string& name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  for (const char c : name) {
+    const bool legal = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                       (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(legal ? c : '_');
+  }
+  if (!out.empty() && out[0] >= '0' && out[0] <= '9') {
+    out.insert(out.begin(), '_');
+  }
+  return out;
+}
+
+void write_prometheus(std::ostream& os) {
+  MetricsRegistry::global().write_prometheus(os);
 }
 
 void MetricsRegistry::reset() {

@@ -42,6 +42,39 @@ std::string to_upper(std::string_view s) {
   return out;
 }
 
+std::string escape_json(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_quote(std::string_view s) {
+  std::string out = "\"";
+  out += escape_json(s);
+  out.push_back('"');
+  return out;
+}
+
 std::string format_mse(double v) {
   char buf[64];
   if (!std::isfinite(v) || std::fabs(v) >= 1e4) {

@@ -1,8 +1,10 @@
 #include "ic/support/telemetry.hpp"
 
+#include <cstdio>
 #include <fstream>
 
 #include "ic/support/assert.hpp"
+#include "ic/support/strings.hpp"
 
 namespace ic::telemetry {
 
@@ -12,10 +14,75 @@ void dump_metrics(const std::string& path) {
   MetricsRegistry::global().write_json(out);
 }
 
+void dump_prometheus(const std::string& path) {
+  std::ofstream out(path);
+  IC_CHECK(out.good(), "dump_prometheus: cannot open " << path);
+  MetricsRegistry::global().write_prometheus(out);
+}
+
 void dump_trace(const std::string& path) {
   std::ofstream out(path);
   IC_CHECK(out.good(), "dump_trace: cannot open " << path);
   TraceCollector::global().write_chrome_json(out);
+}
+
+MetricsFlusher::MetricsFlusher(std::string path,
+                               std::chrono::milliseconds interval)
+    : path_(std::move(path)), interval_(interval) {
+  IC_CHECK(interval_.count() > 0, "MetricsFlusher interval must be positive");
+  const std::string_view suffix = ".prom";
+  prometheus_ = path_.size() >= suffix.size() &&
+                path_.compare(path_.size() - suffix.size(), suffix.size(),
+                              suffix) == 0;
+  thread_ = std::thread([this] { loop(); });
+}
+
+MetricsFlusher::~MetricsFlusher() {
+  try {
+    stop();
+  } catch (const std::exception&) {
+    // A failing final flush (deleted directory...) must not terminate.
+  }
+}
+
+void MetricsFlusher::flush() const {
+  const std::string tmp = path_ + ".tmp";
+  {
+    std::ofstream out(tmp);
+    IC_CHECK(out.good(), "MetricsFlusher: cannot open " << tmp);
+    if (prometheus_) {
+      MetricsRegistry::global().write_prometheus(out);
+    } else {
+      MetricsRegistry::global().write_json(out);
+    }
+  }
+  IC_CHECK(std::rename(tmp.c_str(), path_.c_str()) == 0,
+           "MetricsFlusher: cannot rename " << tmp << " to " << path_);
+}
+
+void MetricsFlusher::loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    if (cv_.wait_for(lock, interval_, [this] { return stopping_; })) return;
+    lock.unlock();
+    try {
+      flush();
+    } catch (const std::exception& e) {
+      ICLOG(warn) << "metrics flush failed" << kv("error", e.what());
+    }
+    lock.lock();
+  }
+}
+
+void MetricsFlusher::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_ && !thread_.joinable()) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  flush();
 }
 
 }  // namespace ic::telemetry

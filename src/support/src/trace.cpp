@@ -1,11 +1,11 @@
 #include "ic/support/trace.hpp"
 
-#include <cstdio>
 #include <functional>
 #include <sstream>
 #include <thread>
 
 #include "ic/support/log.hpp"
+#include "ic/support/strings.hpp"
 
 namespace ic::telemetry {
 
@@ -17,23 +17,7 @@ std::uint64_t this_thread_id() {
 }
 
 void write_escaped(std::ostream& os, const std::string& s) {
-  os << '"';
-  for (char c : s) {
-    switch (c) {
-      case '"': os << "\\\""; break;
-      case '\\': os << "\\\\"; break;
-      case '\n': os << "\\n"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          os << buf;
-        } else {
-          os << c;
-        }
-    }
-  }
-  os << '"';
+  os << ic::json_quote(s);
 }
 
 }  // namespace
@@ -68,8 +52,18 @@ void TraceCollector::write_chrome_json(std::ostream& os) const {
     os << "{\"name\": ";
     write_escaped(os, e.name);
     os << ", \"cat\": \"ic\", \"ph\": \"X\", \"ts\": " << e.ts_us
-       << ", \"dur\": " << e.dur_us << ", \"pid\": 1, \"tid\": " << e.tid % 100000
-       << "}";
+       << ", \"dur\": " << e.dur_us << ", \"pid\": 1, \"tid\": " << e.tid % 100000;
+    if (!e.args.empty()) {
+      os << ", \"args\": {";
+      for (std::size_t a = 0; a < e.args.size(); ++a) {
+        if (a) os << ", ";
+        write_escaped(os, e.args[a].first);
+        os << ": ";
+        write_escaped(os, e.args[a].second);
+      }
+      os << "}";
+    }
+    os << "}";
   }
   os << "\n]\n";
 }
@@ -87,6 +81,11 @@ TraceSpan::TraceSpan(const char* name) : name_(name) {
   }
 }
 
+void TraceSpan::annotate(const char* key, std::string value) {
+  if (!active_) return;
+  args_.emplace_back(key, std::move(value));
+}
+
 void TraceSpan::end() {
   if (!active_) return;
   active_ = false;
@@ -95,6 +94,7 @@ void TraceSpan::end() {
   event.ts_us = start_us_;
   event.dur_us = process_micros() - start_us_;
   event.tid = this_thread_id();
+  event.args = std::move(args_);
   TraceCollector::global().record(std::move(event));
 }
 

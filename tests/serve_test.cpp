@@ -12,6 +12,7 @@
 #include "ic/core/estimator.hpp"
 #include "ic/data/features.hpp"
 #include "ic/serve/serve.hpp"
+#include "ic/support/metrics.hpp"
 
 namespace ic::serve {
 namespace {
@@ -329,6 +330,11 @@ TEST_F(ServeTest, ServerAnswersPingStatsAndPredicts) {
   EXPECT_TRUE(stats.ok);
   ASSERT_NE(stats.raw.find("models"), nullptr);
   EXPECT_EQ(stats.raw.find("models")->items().size(), 1u);
+  ASSERT_NE(stats.raw.find("uptime_seconds"), nullptr);
+  EXPECT_GE(stats.raw.find("uptime_seconds")->as_number(), 0.0);
+  ASSERT_NE(stats.raw.find("p99_latency_seconds"), nullptr);
+  EXPECT_FALSE(stats.request_id.empty())
+      << "every response must carry a request_id";
 
   WireRequest malformed;
   malformed.op = "predict";  // empty selection → server-side error response
@@ -401,6 +407,114 @@ TEST_F(ServeTest, ConcurrentClientsMatchSerialBitForBit) {
           << " diverged from the serial reference";
     }
   }
+
+  server.shutdown();
+  engine.stop();
+}
+
+TEST_F(ServeTest, ServerAnswersHealthAndPrometheusStats) {
+  ModelRegistry registry;
+  registry.load("default", model_path_);
+  InferenceEngine engine(registry, {});
+  engine.register_circuit("default", circuit_);
+  Server server(engine, registry, {});
+  server.start();
+
+  Client client("127.0.0.1", server.port());
+
+  // One prediction so the serve.request_seconds histogram is non-empty.
+  WireRequest predict;
+  predict.select = {3, 9};
+  ASSERT_TRUE(client.call(predict).ok);
+
+  const auto health = client.health();
+  EXPECT_TRUE(health.ok);
+  ASSERT_NE(health.raw.find("ready"), nullptr);
+  EXPECT_TRUE(health.raw.find("ready")->as_bool())
+      << "a server with a loaded model and empty queue is ready";
+  ASSERT_NE(health.raw.find("models"), nullptr);
+  EXPECT_EQ(health.raw.find("models")->items().size(), 1u);
+  ASSERT_NE(health.raw.find("max_queue"), nullptr);
+  EXPECT_GT(health.raw.find("max_queue")->as_number(), 0.0);
+  ASSERT_NE(health.raw.find("version"), nullptr);
+  EXPECT_FALSE(health.raw.find("version")->as_string().empty());
+
+  const auto prom = client.stats("prometheus");
+  EXPECT_TRUE(prom.ok);
+  ASSERT_NE(prom.raw.find("prometheus"), nullptr);
+  const std::string text = prom.raw.find("prometheus")->as_string();
+  EXPECT_NE(text.find("# TYPE serve_request_seconds histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("serve_request_seconds_count"), std::string::npos);
+  EXPECT_NE(text.find("serve_request_seconds_bucket{le=\"+Inf\"}"),
+            std::string::npos);
+
+  server.shutdown();
+  engine.stop();
+}
+
+TEST_F(ServeTest, RequestIdsAreEchoedAndAssigned) {
+  ModelRegistry registry;
+  registry.load("default", model_path_);
+  InferenceEngine engine(registry, {});
+  engine.register_circuit("default", circuit_);
+  Server server(engine, registry, {});
+  server.start();
+
+  Client client("127.0.0.1", server.port());
+
+  // A client-chosen id comes back verbatim on every op.
+  WireRequest predict;
+  predict.select = {1, 5};
+  predict.request_id = "trace-me-7";
+  EXPECT_EQ(client.call(predict).request_id, "trace-me-7");
+  WireRequest ping;
+  ping.op = "ping";
+  ping.request_id = "ping-1";
+  EXPECT_EQ(client.call(ping).request_id, "ping-1");
+
+  // Without one, the server assigns distinct non-empty ids.
+  predict.request_id.clear();
+  const auto first = client.call(predict);
+  const auto second = client.call(predict);
+  EXPECT_FALSE(first.request_id.empty());
+  EXPECT_FALSE(second.request_id.empty());
+  EXPECT_NE(first.request_id, second.request_id);
+
+  // The engine API echoes ids the same way.
+  PredictRequest direct;
+  direct.selection = {2, 6};
+  direct.request_id = "engine-9";
+  EXPECT_EQ(engine.predict(direct).request_id, "engine-9");
+  direct.request_id.clear();
+  EXPECT_FALSE(engine.predict(direct).request_id.empty());
+
+  server.shutdown();
+  engine.stop();
+}
+
+TEST_F(ServeTest, MalformedLinesCountWireErrors) {
+  ModelRegistry registry;
+  registry.load("default", model_path_);
+  InferenceEngine engine(registry, {});
+  engine.register_circuit("default", circuit_);
+  Server server(engine, registry, {});
+  server.start();
+
+  auto& wire_errors =
+      telemetry::MetricsRegistry::global().counter("serve.wire_errors");
+  const auto before = wire_errors.value();
+
+  Client client("127.0.0.1", server.port());
+  // A stats request with a format the server-side parser rejects:
+  // parse_request throws → error response + serve.wire_errors increment.
+  WireRequest bad_stats;
+  bad_stats.op = "stats";
+  bad_stats.format = "xml";
+  const auto response = client.call(bad_stats);
+  EXPECT_FALSE(response.ok);
+  EXPECT_EQ(response.status, "error");
+  EXPECT_GT(wire_errors.value(), before);
 
   server.shutdown();
   engine.stop();

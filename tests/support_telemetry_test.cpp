@@ -90,6 +90,18 @@ TEST(Log, ParseLevel) {
   EXPECT_EQ(parse_level("bogus", Level::warn), Level::warn);
 }
 
+TEST(Log, ParseLevelReportsRecognition) {
+  bool recognized = false;
+  EXPECT_EQ(parse_level("info", Level::warn, &recognized), Level::info);
+  EXPECT_TRUE(recognized);
+  EXPECT_EQ(parse_level("verbose", Level::warn, &recognized), Level::warn);
+  EXPECT_FALSE(recognized);
+  EXPECT_EQ(parse_level("", Level::error, &recognized), Level::error);
+  EXPECT_FALSE(recognized);
+  // The one-time IC_LOG_LEVEL warning names the accepted set via this string.
+  EXPECT_EQ(std::string(level_names()), "trace|debug|info|warn|error|off");
+}
+
 TEST(Metrics, CounterConcurrentIncrements) {
   auto& counter = MetricsRegistry::global().counter("test.concurrent_counter");
   counter.reset();
@@ -181,6 +193,132 @@ TEST(Metrics, JsonContainsRegisteredInstruments) {
             std::count(json.begin(), json.end(), '}'));
   EXPECT_EQ(std::count(json.begin(), json.end(), '['),
             std::count(json.begin(), json.end(), ']'));
+}
+
+TEST(Metrics, QuantileEmptyHistogramIsZero) {
+  auto& hist = MetricsRegistry::global().histogram("test.quantile_empty",
+                                                   {1.0, 2.0});
+  hist.reset();
+  EXPECT_DOUBLE_EQ(hist.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(hist.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(hist.quantile(1.0), 0.0);
+}
+
+TEST(Metrics, QuantileSingleBucketInterpolates) {
+  auto& hist = MetricsRegistry::global().histogram("test.quantile_single",
+                                                   {10.0, 20.0});
+  hist.reset();
+  // Four observations, all in the first bucket: its edges tighten to the
+  // exact [min, max] = [2, 8], so the median interpolates inside that range.
+  for (double x : {2.0, 4.0, 6.0, 8.0}) hist.observe(x);
+  EXPECT_DOUBLE_EQ(hist.quantile(0.0), 2.0);
+  EXPECT_DOUBLE_EQ(hist.quantile(1.0), 8.0);
+  const double median = hist.quantile(0.5);
+  EXPECT_GE(median, 2.0);
+  EXPECT_LE(median, 8.0);
+}
+
+TEST(Metrics, QuantileOverflowBucketClampsToMax) {
+  auto& hist = MetricsRegistry::global().histogram("test.quantile_overflow",
+                                                   {1.0});
+  hist.reset();
+  // Everything lands in the overflow bucket, whose upper edge is unbounded:
+  // the tracked max must cap every estimate.
+  for (double x : {5.0, 50.0, 500.0}) hist.observe(x);
+  EXPECT_LE(hist.quantile(0.99), 500.0);
+  EXPECT_GE(hist.quantile(0.01), 5.0);
+  EXPECT_DOUBLE_EQ(hist.quantile(1.0), 500.0);
+}
+
+TEST(Metrics, QuantileAcrossBuckets) {
+  auto& hist = MetricsRegistry::global().histogram("test.quantile_multi",
+                                                   {1.0, 2.0, 4.0, 8.0});
+  hist.reset();
+  for (int i = 0; i < 100; ++i) hist.observe(0.5);   // bucket ≤ 1
+  for (int i = 0; i < 100; ++i) hist.observe(1.5);   // bucket ≤ 2
+  // p25 falls inside the first bucket, p75 inside the second.
+  EXPECT_LE(hist.quantile(0.25), 1.0);
+  EXPECT_GT(hist.quantile(0.75), 1.0);
+  EXPECT_LE(hist.quantile(0.75), 2.0);
+  EXPECT_DOUBLE_EQ(hist.quantile(0.0), 0.5);
+  EXPECT_DOUBLE_EQ(hist.quantile(1.0), 1.5);
+}
+
+TEST(Metrics, PrometheusName) {
+  EXPECT_EQ(prometheus_name("serve.request_seconds"), "serve_request_seconds");
+  EXPECT_EQ(prometheus_name("a.b-c d"), "a_b_c_d");
+  EXPECT_EQ(prometheus_name("9lives"), "_9lives");
+  EXPECT_EQ(prometheus_name("already_fine:x"), "already_fine:x");
+}
+
+TEST(Metrics, PrometheusExpositionRoundTrip) {
+  MetricsRegistry::global().counter("test.prom_counter").reset();
+  MetricsRegistry::global().counter("test.prom_counter").add(7);
+  MetricsRegistry::global().gauge("test.prom_gauge").set(2.5);
+  auto& hist =
+      MetricsRegistry::global().histogram("test.prom_hist", {1.0, 2.0});
+  hist.reset();
+  for (double x : {0.5, 1.5, 3.0}) hist.observe(x);
+
+  const std::string text = MetricsRegistry::global().to_prometheus();
+  std::istringstream in(text);
+  std::string line;
+  bool saw_counter = false, saw_gauge = false, saw_type_histogram = false;
+  std::uint64_t inf_bucket = 0, count = 0;
+  double sum = 0.0;
+  std::vector<std::uint64_t> cumulative;
+  while (std::getline(in, line)) {
+    ASSERT_FALSE(line.empty()) << "blank line in exposition output";
+    if (line[0] == '#') {
+      // Comment lines are "# TYPE <name> <kind>" only.
+      EXPECT_EQ(line.rfind("# TYPE ", 0), 0u) << line;
+      if (line == "# TYPE test_prom_hist histogram") saw_type_histogram = true;
+      continue;
+    }
+    // Every sample line is "<name>[{labels}] <value>".
+    const auto space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    const std::string name = line.substr(0, space);
+    const std::string value = line.substr(space + 1);
+    if (name == "test_prom_counter") {
+      saw_counter = true;
+      EXPECT_EQ(value, "7");
+    } else if (name == "test_prom_gauge") {
+      saw_gauge = true;
+      EXPECT_EQ(std::stod(value), 2.5);
+    } else if (name.rfind("test_prom_hist_bucket{le=", 0) == 0) {
+      cumulative.push_back(std::stoull(value));
+      if (name.find("+Inf") != std::string::npos) {
+        inf_bucket = std::stoull(value);
+      }
+    } else if (name == "test_prom_hist_sum") {
+      sum = std::stod(value);
+    } else if (name == "test_prom_hist_count") {
+      count = std::stoull(value);
+    }
+  }
+  EXPECT_TRUE(saw_counter);
+  EXPECT_TRUE(saw_gauge);
+  EXPECT_TRUE(saw_type_histogram);
+  // Cumulative buckets: 1, 2, 3 — monotone, +Inf equals _count, sum exact.
+  ASSERT_EQ(cumulative.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(cumulative.begin(), cumulative.end()));
+  EXPECT_EQ(cumulative.back(), 3u);
+  EXPECT_EQ(inf_bucket, 3u);
+  EXPECT_EQ(count, 3u);
+  EXPECT_DOUBLE_EQ(sum, 5.0);
+}
+
+TEST(Metrics, GaugeGuardIsExceptionSafe) {
+  auto& gauge = MetricsRegistry::global().gauge("test.gauge_guard");
+  gauge.reset();
+  try {
+    GaugeGuard guard(gauge);
+    EXPECT_DOUBLE_EQ(gauge.value(), 1.0);
+    throw std::runtime_error("boom");
+  } catch (const std::runtime_error&) {
+  }
+  EXPECT_DOUBLE_EQ(gauge.value(), 0.0);
 }
 
 TEST(Trace, DisabledSpansRecordNothing) {

@@ -47,6 +47,15 @@ TEST(Strings, FormatMseUsesScientificForHugeValues) {
   EXPECT_NE(huge.find("e+25"), std::string::npos);
 }
 
+TEST(Strings, EscapeJson) {
+  EXPECT_EQ(escape_json("plain"), "plain");
+  EXPECT_EQ(escape_json("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(escape_json("a\\b"), "a\\\\b");
+  EXPECT_EQ(escape_json("line1\nline2\ttab"), "line1\\nline2\\ttab");
+  EXPECT_EQ(escape_json(std::string_view("\x01", 1)), "\\u0001");
+  EXPECT_EQ(json_quote("k\"v"), "\"k\\\"v\"");
+}
+
 TEST(Assert, ContractViolationThrowsLogicError) {
   EXPECT_THROW(IC_ASSERT(1 == 2), std::logic_error);
   EXPECT_NO_THROW(IC_ASSERT(1 == 1));

@@ -4,10 +4,13 @@
 #include <benchmark/benchmark.h>
 
 #include "ic/attack/encode.hpp"
+#include "ic/attack/sat_attack.hpp"
 #include "ic/circuit/generator.hpp"
 #include "ic/circuit/library.hpp"
 #include "ic/circuit/simulator.hpp"
 #include "ic/data/dataset.hpp"
+#include "ic/locking/lut_lock.hpp"
+#include "ic/locking/policy.hpp"
 #include "ic/nn/regressor.hpp"
 #include "ic/support/rng.hpp"
 
@@ -81,6 +84,53 @@ void BM_SolveEquivalenceMiter(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SolveEquivalenceMiter)->Arg(128)->Arg(256);
+
+void BM_SolverPropagate(benchmark::State& state) {
+  // Pure BCP: one persistent encoded circuit, solved repeatedly under full
+  // input assumptions. Every internal variable is implied, so each solve is
+  // a straight propagation pass with no conflicts — this isolates the
+  // watch-list walk (arena reads, blocker checks) from search heuristics.
+  const auto nl = bench_circuit(static_cast<std::size_t>(state.range(0)));
+  ic::sat::Solver solver;
+  const auto enc = ic::attack::encode_netlist(nl, solver);
+  std::uint64_t pattern = 0x9e3779b97f4a7c15ull;
+  std::vector<ic::sat::Lit> assumptions;
+  assumptions.reserve(enc.input_vars.size());
+  std::uint64_t props = 0;
+  for (auto _ : state) {
+    assumptions.clear();
+    for (std::size_t i = 0; i < enc.input_vars.size(); ++i) {
+      const bool bit = (pattern >> (i % 64)) & 1u;
+      assumptions.push_back(ic::sat::Lit(enc.input_vars[i], !bit));
+    }
+    pattern = pattern * 6364136223846793005ull + 1442695040888963407ull;
+    const std::uint64_t before = solver.stats().propagations;
+    benchmark::DoNotOptimize(solver.solve(assumptions));
+    props += solver.stats().propagations - before;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(props));
+}
+BENCHMARK(BM_SolverPropagate)->Arg(256)->Arg(1024);
+
+void BM_SatAttackSmall(benchmark::State& state) {
+  // End-to-end oracle-guided attack on a small LUT-locked circuit: the
+  // labeling workload in miniature (encode, incremental solve, DIP loop).
+  ic::circuit::GeneratorSpec spec;
+  spec.num_gates = 90;
+  spec.num_inputs = 12;
+  spec.num_outputs = 6;
+  spec.seed = 23;
+  const auto original = ic::circuit::generate_circuit(spec, "perf");
+  const auto sel = ic::locking::select_gates(
+      original, 6, ic::locking::SelectionPolicy::Random, 6);
+  const auto locked = ic::locking::lut_lock(original, sel);
+  for (auto _ : state) {
+    ic::attack::NetlistOracle oracle(original);
+    benchmark::DoNotOptimize(ic::attack::sat_attack(locked.locked, oracle));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SatAttackSmall);
 
 void BM_SparsePropagation(benchmark::State& state) {
   const auto nl = bench_circuit(static_cast<std::size_t>(state.range(0)));

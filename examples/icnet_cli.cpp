@@ -12,7 +12,7 @@
 //                                         one prediction per output line
 //   icnet_cli serve   <circuit.bench> <model> --port P [--host H]
 //                     [--max-queue N] [--batch B] [--timeout-ms T]
-//                     [--reload-ms R] [--slow-ms T]
+//                     [--reload-ms R] [--slow-ms T] [--feature-cache-max N]
 //   icnet_cli query   --port P [--host H] --select "12,57,101"
 //                     [--op predict|ping|stats|health|shutdown] [--model M]
 //                     [--circuit C] [--timeout-ms T] [--request-id ID]
@@ -302,6 +302,8 @@ int cmd_serve(const Args& a) {
   engine_options.max_batch = std::stoul(opt(a, "batch", "32"));
   engine_options.default_timeout_ms = std::stoll(opt(a, "timeout-ms", "-1"));
   engine_options.slow_request_ms = std::stoll(opt(a, "slow-ms", "-1"));
+  engine_options.feature_cache_max =
+      std::stoul(opt(a, "feature-cache-max", "0"));
   ic::serve::InferenceEngine engine(registry, engine_options);
   engine.register_circuit("default", circuit);
 

@@ -112,12 +112,63 @@ void encode_lut(Solver& s, Var y, const std::vector<Var>& f, const Gate& g,
   }
 }
 
+// Upper-bound the CNF footprint of `nl` so the solver can pre-size its
+// variable tables, watch lists, and clause arena in one shot (the encode
+// loop then grows nothing). Mirrors the per-kind clause shapes in the
+// encoders above; gates skipped by cone reduction or reuse only make the
+// bound looser, which costs nothing but reserved capacity.
+void reserve_for_netlist(const Netlist& nl, Solver& solver) {
+  std::size_t vars = nl.num_inputs() + nl.num_keys();
+  std::size_t clauses = 0;
+  std::size_t literals = 0;
+  for (GateId id : nl.topological_order()) {
+    const Gate& g = nl.gate(id);
+    if (!circuit::is_logic(g.kind)) continue;
+    const std::size_t f = g.fanins.size();
+    switch (g.kind) {
+      case GateKind::Buf:
+      case GateKind::Not:
+        vars += 1;
+        clauses += 2;
+        literals += 4;
+        break;
+      case GateKind::And:
+      case GateKind::Nand:
+      case GateKind::Or:
+      case GateKind::Nor:
+        vars += 1;
+        clauses += f + 1;
+        literals += 3 * f + 1;
+        break;
+      case GateKind::Xor:
+      case GateKind::Xnor:
+        // Pairwise fold: f-1 XOR2 blocks of 4 ternary clauses, f-2 temps.
+        vars += f - 1;
+        clauses += 4 * (f - 1);
+        literals += 12 * (f - 1);
+        break;
+      case GateKind::Lut: {
+        const std::size_t rows = std::size_t{1} << f;
+        const std::size_t per_row = g.key_base >= 0 ? 2 : 1;
+        vars += 1;
+        clauses += rows * per_row;
+        literals += rows * per_row * (f + 2);
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  solver.reserve(vars, clauses, literals);
+}
+
 }  // namespace
 
 CircuitEncoding encode_netlist(const Netlist& nl, Solver& solver,
                                const EncodeShared& shared) {
   CircuitEncoding enc;
   enc.gate_vars.assign(nl.size(), sat::kNoVar);
+  reserve_for_netlist(nl, solver);
 
   if (shared.inputs) {
     IC_ASSERT_MSG(shared.inputs->size() == nl.num_inputs(),

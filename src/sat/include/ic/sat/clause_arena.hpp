@@ -1,0 +1,207 @@
+// Arena clause storage for the CDCL solver (DESIGN.md §11).
+//
+// All clauses live in one flat uint32 buffer; a ClauseRef is a 32-bit word
+// offset into it. Inspecting a clause during propagation is a single
+// contiguous read instead of the two dependent pointer hops of a
+// unique_ptr<Clause> owning a vector<Lit>.
+//
+// Clause layout (uint32 words):
+//
+//   [0]                 header: size << 3 | reloced << 2 | deleted << 1 | learnt
+//   [1 .. size]         literal codes (Lit::code(), two's-complement uint32)
+//   [size+1, size+2]    activity (double, memcpy-accessed) — learnt only
+//
+// Deletion is a mark: `free_clause` flips the deleted bit and accounts the
+// words as wasted; watcher lists drop marked clauses lazily when they next
+// traverse them (no eager O(watchlist) erases). When the wasted fraction
+// crosses a threshold the solver runs a copying garbage collection:
+// `reloc` forwards each live reference into a fresh arena, using the
+// reloced bit + a forwarding ref stashed in the first literal slot so every
+// reference site (watchers, reasons, clause lists) converges on one copy.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "ic/sat/types.hpp"
+#include "ic/support/assert.hpp"
+
+namespace ic::sat {
+
+/// Word offset of a clause in the arena.
+using ClauseRef = std::uint32_t;
+inline constexpr ClauseRef kRefUndef = static_cast<ClauseRef>(-1);
+
+/// Watch-list entry: the clause plus a cached "blocker" literal (one of the
+/// clause's literals, the other watched literal when last inspected). When
+/// the blocker is already true the clause is satisfied and propagation can
+/// skip it after touching only the clause header line — see
+/// Solver::propagate for the exact (bit-identity-preserving) condition.
+///
+/// Bit 31 of the blocker code tags watchers attached to size-2 clauses.
+/// Binary watches never move, so their blocker is ALWAYS the exact other
+/// watched literal: propagation decides keep/unit/conflict from the watcher
+/// alone, touching the clause only to mirror the reference implementation's
+/// position normalization on the unit/conflict paths.
+struct Watcher {
+  ClauseRef ref;
+  Lit blocker;
+
+  static constexpr std::uint32_t kBinaryBit = 0x80000000u;
+
+  static Watcher make(ClauseRef ref, Lit blocker, bool binary) {
+    const std::uint32_t code = static_cast<std::uint32_t>(blocker.code()) |
+                               (binary ? kBinaryBit : 0u);
+    return {ref, Lit::from_code(static_cast<std::int32_t>(code))};
+  }
+  bool binary() const {
+    return (static_cast<std::uint32_t>(blocker.code()) & kBinaryBit) != 0;
+  }
+  Lit blocker_lit() const {
+    return Lit::from_code(static_cast<std::int32_t>(
+        static_cast<std::uint32_t>(blocker.code()) & ~kBinaryBit));
+  }
+};
+
+/// Non-owning view of one clause inside the arena. Invalidated by any
+/// allocation or garbage collection; re-fetch after either.
+class ClauseHandle {
+ public:
+  explicit ClauseHandle(std::uint32_t* p) : p_(p) {}
+
+  std::uint32_t size() const { return p_[0] >> kSizeShift; }
+  bool learnt() const { return (p_[0] & kLearntBit) != 0; }
+  bool is_deleted() const { return (p_[0] & kDeletedBit) != 0; }
+
+  Lit lit(std::uint32_t i) const {
+    return Lit::from_code(static_cast<std::int32_t>(p_[1 + i]));
+  }
+  void set_lit(std::uint32_t i, Lit l) {
+    p_[1 + i] = static_cast<std::uint32_t>(l.code());
+  }
+  void swap_lits(std::uint32_t i, std::uint32_t j) {
+    const std::uint32_t t = p_[1 + i];
+    p_[1 + i] = p_[1 + j];
+    p_[1 + j] = t;
+  }
+
+  double activity() const {
+    IC_ASSERT(learnt());
+    double a;
+    std::memcpy(&a, p_ + 1 + size(), sizeof a);
+    return a;
+  }
+  void set_activity(double a) {
+    IC_ASSERT(learnt());
+    std::memcpy(p_ + 1 + size(), &a, sizeof a);
+  }
+
+  // Header bit layout, public so the propagation inner loop can work on raw
+  // arena words without going through a handle per watcher.
+  static constexpr std::uint32_t kLearntBit = 1u;
+  static constexpr std::uint32_t kDeletedBit = 2u;
+  static constexpr std::uint32_t kRelocedBit = 4u;
+  static constexpr std::uint32_t kSizeShift = 3u;
+
+ private:
+  friend class ClauseArena;
+
+  std::uint32_t* p_;
+};
+
+class ClauseArena {
+ public:
+  ClauseArena() = default;
+
+  static std::uint32_t words_for(std::uint32_t size, bool learnt) {
+    return 1 + size + (learnt ? kActivityWords : 0);
+  }
+
+  void reserve(std::size_t words) { mem_.reserve(mem_.size() + words); }
+
+  ClauseRef alloc(const Lit* lits, std::uint32_t size, bool learnt) {
+    IC_ASSERT(size >= 2);
+    const std::size_t off = mem_.size();
+    IC_ASSERT_MSG(off + words_for(size, learnt) < kRefUndef,
+                  "clause arena exceeds 32-bit addressing");
+    mem_.resize(off + words_for(size, learnt));
+    std::uint32_t* p = mem_.data() + off;
+    p[0] = (size << ClauseHandle::kSizeShift) |
+           (learnt ? ClauseHandle::kLearntBit : 0);
+    for (std::uint32_t i = 0; i < size; ++i) {
+      p[1 + i] = static_cast<std::uint32_t>(lits[i].code());
+    }
+    if (learnt) {
+      const double zero = 0.0;
+      std::memcpy(p + 1 + size, &zero, sizeof zero);
+    }
+    return static_cast<ClauseRef>(off);
+  }
+
+  ClauseHandle get(ClauseRef ref) { return ClauseHandle(mem_.data() + ref); }
+
+  /// Raw word buffer, for hot loops that hoist the base pointer out of a
+  /// traversal. Valid until the next alloc or garbage collection.
+  std::uint32_t* raw() { return mem_.data(); }
+
+  /// Mark deleted and account the waste; watcher lists drop the clause
+  /// lazily on their next traversal.
+  void free_clause(ClauseRef ref) {
+    ClauseHandle c = get(ref);
+    IC_ASSERT(!c.is_deleted());
+    c.p_[0] |= ClauseHandle::kDeletedBit;
+    wasted_ += words_for(c.size(), c.learnt());
+  }
+
+  /// Shrink a clause in place to its first `new_size` literals (level-0
+  /// simplification stripping root-false tail literals).
+  void shrink_clause(ClauseRef ref, std::uint32_t new_size) {
+    ClauseHandle c = get(ref);
+    const std::uint32_t old_size = c.size();
+    IC_ASSERT(new_size >= 2 && new_size <= old_size);
+    if (new_size == old_size) return;
+    if (c.learnt()) {
+      // Move the activity down so it still trails the literals.
+      std::memmove(c.p_ + 1 + new_size, c.p_ + 1 + old_size, sizeof(double));
+    }
+    c.p_[0] = (new_size << ClauseHandle::kSizeShift) |
+              (c.p_[0] & (ClauseHandle::kLearntBit | ClauseHandle::kDeletedBit));
+    wasted_ += old_size - new_size;
+  }
+
+  /// Forward `ref` into `to`, copying the clause on first encounter. All
+  /// reference sites calling reloc on the same clause converge on one copy.
+  void reloc(ClauseRef& ref, ClauseArena& to) {
+    ClauseHandle c = get(ref);
+    if (c.p_[0] & ClauseHandle::kRelocedBit) {
+      ref = static_cast<ClauseRef>(c.p_[1]);
+      return;
+    }
+    IC_ASSERT(!c.is_deleted());
+    const std::uint32_t size = c.size();
+    const bool learnt = c.learnt();
+    const std::size_t off = to.mem_.size();
+    to.mem_.resize(off + words_for(size, learnt));
+    std::memcpy(to.mem_.data() + off, c.p_,
+                words_for(size, learnt) * sizeof(std::uint32_t));
+    c.p_[0] |= ClauseHandle::kRelocedBit;
+    c.p_[1] = static_cast<std::uint32_t>(off);
+    ref = static_cast<ClauseRef>(off);
+  }
+
+  std::size_t size_words() const { return mem_.size(); }
+  std::size_t wasted_words() const { return wasted_; }
+
+  /// Compaction pays off once a fifth of the arena is dead space.
+  bool should_collect() const { return wasted_ * 5 > mem_.size(); }
+
+ private:
+  static constexpr std::uint32_t kActivityWords =
+      sizeof(double) / sizeof(std::uint32_t);
+
+  std::vector<std::uint32_t> mem_;
+  std::size_t wasted_ = 0;
+};
+
+}  // namespace ic::sat

@@ -5,12 +5,23 @@
 // restarts, and activity-based learnt-clause database reduction. It solves
 // incrementally under assumptions, which is what the oracle-guided SAT
 // attack needs (the clause database persists across DIP iterations).
+//
+// Memory layout (DESIGN.md §11): clauses live in a flat uint32 arena
+// (ic/sat/clause_arena.hpp), watcher lists carry blocker literals so most
+// propagation steps touch at most one clause cache line, deleted clauses are
+// detached lazily, and the hot loops (propagate / analyze / add_clause) run
+// allocation-free against persistent scratch buffers. The search trace —
+// every decision, propagation, conflict, restart, and learnt literal — is
+// bit-identical to the reference pointer-based implementation; the committed
+// golden corpus (tests/golden/sat_stats.txt) enforces this, because the
+// dataset labels are these counters.
 #pragma once
 
 #include <cstdint>
-#include <memory>
+#include <initializer_list>
 #include <vector>
 
+#include "ic/sat/clause_arena.hpp"
 #include "ic/sat/types.hpp"
 
 namespace ic::sat {
@@ -25,6 +36,8 @@ struct SolverStats {
   std::uint64_t conflicts = 0;
   std::uint64_t restarts = 0;
   std::uint64_t learnt_literals = 0;
+  /// Clauses actually attached to the database. Clauses discarded by level-0
+  /// simplification (satisfied, tautological) and unit enqueues don't count.
   std::uint64_t clauses_added = 0;
 };
 
@@ -50,10 +63,23 @@ class Solver {
   Var new_var();
   std::size_t num_vars() const { return static_cast<std::size_t>(next_var_); }
 
+  /// Pre-size for `extra_vars` more variables and `extra_clauses` more
+  /// clauses totalling `extra_literals` literals, so the encode loops grow
+  /// no vector. Purely a capacity hint; over-estimates waste only address
+  /// space reservations.
+  void reserve(std::size_t extra_vars, std::size_t extra_clauses,
+               std::size_t extra_literals);
+
   /// Add a problem clause. Returns false if the clause (or the accumulated
   /// formula) is already trivially unsatisfiable at level 0; the solver then
   /// answers Unsat forever.
-  bool add_clause(std::vector<Lit> lits);
+  bool add_clause(const Lit* lits, std::size_t n);
+  bool add_clause(const std::vector<Lit>& lits) {
+    return add_clause(lits.data(), lits.size());
+  }
+  bool add_clause(std::initializer_list<Lit> lits) {
+    return add_clause(lits.begin(), lits.size());
+  }
 
   /// Solve under the given assumptions. Incremental: may be called many
   /// times, interleaved with add_clause.
@@ -71,8 +97,7 @@ class Solver {
   std::size_t num_learnts() const { return num_learnt_clauses_; }
 
  private:
-  using ClauseRef = std::uint32_t;
-  static constexpr ClauseRef kNoReason = static_cast<ClauseRef>(-1);
+  static constexpr ClauseRef kNoReason = kRefUndef;
 
   // ---- assignment & trail ----
   LBool value(Lit l) const {
@@ -95,7 +120,7 @@ class Solver {
   // ---- heuristics ----
   void bump_var(Var v);
   void decay_var_activity() { var_inc_ /= config_.var_decay; }
-  void bump_clause(Clause& c);
+  void bump_clause(ClauseHandle c);
   void decay_clause_activity() { clause_inc_ /= config_.clause_decay; }
   Lit pick_branch_lit();
   void reduce_db();
@@ -107,11 +132,16 @@ class Solver {
   /// incremental use, where each DIP iteration retires whole circuit copies
   /// via unit clauses.
   void simplify();
-  ClauseRef alloc_clause(std::vector<Lit> lits, bool learnt);
+  void simplify_list(std::vector<ClauseRef>& list, std::size_t& live_count);
   void attach_clause(ClauseRef ref);
-  void detach_clause(ClauseRef ref);
-  Clause& clause(ClauseRef ref) { return *clauses_[ref]; }
-  const Clause& clause(ClauseRef ref) const { return *clauses_[ref]; }
+  /// Lazy detach: mark the clause deleted in the arena. Watcher lists drop
+  /// it when they next traverse it; no eager O(watchlist) erase.
+  void remove_clause(ClauseRef ref) { arena_.free_clause(ref); }
+  /// Copying GC once the arena's dead fraction crosses the threshold;
+  /// rewrites watcher / reason / clause-list references.
+  void check_garbage();
+  void garbage_collect();
+  ClauseHandle clause(ClauseRef ref) { return arena_.get(ref); }
 
   // ---- order heap (priority queue over var activity) ----
   void heap_insert(Var v);
@@ -126,19 +156,23 @@ class Solver {
 
   Var next_var_ = 0;
   std::vector<LBool> assigns_;
-  std::vector<bool> polarity_;      // saved phase (true = last assigned true)
+  // Byte-wide on purpose: vector<bool>'s bit packing puts a read-modify-write
+  // in enqueue() and analyze(), the two hottest writers.
+  std::vector<unsigned char> polarity_;  // saved phase (1 = last assigned true)
   std::vector<int> level_;
   std::vector<ClauseRef> reason_;
   std::vector<double> activity_;
   double var_inc_ = 1.0;
   double clause_inc_ = 1.0;
 
-  std::vector<std::unique_ptr<Clause>> clauses_;
+  ClauseArena arena_;
+  std::vector<ClauseRef> clauses_;  // live problem clauses, allocation order
+  std::vector<ClauseRef> learnts_;  // live learnt clauses, allocation order
   std::size_t num_problem_clauses_ = 0;
   std::size_t num_learnt_clauses_ = 0;
 
-  // watches_[lit.code()] = clauses watching lit.
-  std::vector<std::vector<ClauseRef>> watches_;
+  // watches_[lit.code()] = watchers of clauses watching lit.
+  std::vector<std::vector<Watcher>> watches_;
 
   std::vector<Lit> trail_;
   std::vector<std::size_t> trail_lim_;
@@ -148,8 +182,11 @@ class Solver {
   std::vector<Var> heap_;
   std::vector<int> heap_pos_;  // -1 if absent
 
-  // analyze() scratch
-  std::vector<bool> seen_;
+  // persistent scratch (hot loops run allocation-free after warmup)
+  std::vector<unsigned char> seen_;         // analyze()
+  std::vector<Lit> analyze_toclear_;        // analyze() minimization
+  std::vector<Lit> add_tmp_;                // add_clause() simplification
+  std::vector<ClauseRef> reduce_tmp_;       // reduce_db() sort buffer
 
   // snapshot of the satisfying assignment from the last Sat answer
   std::vector<LBool> model_;

@@ -57,17 +57,4 @@ inline LBool operator^(LBool v, bool flip) {
   return lbool_from((v == LBool::True) != flip);
 }
 
-/// A clause: disjunction of literals. Learnt clauses carry an activity used
-/// by the reduce-DB heuristic.
-struct Clause {
-  std::vector<Lit> lits;
-  double activity = 0.0;
-  bool learnt = false;
-  bool deleted = false;
-
-  std::size_t size() const { return lits.size(); }
-  Lit& operator[](std::size_t i) { return lits[i]; }
-  Lit operator[](std::size_t i) const { return lits[i]; }
-};
-
 }  // namespace ic::sat

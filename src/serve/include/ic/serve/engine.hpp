@@ -61,6 +61,8 @@ struct EngineOptions {
   /// "serve.slow_request" warn line. -1 = read IC_SLOW_REQUEST_MS from the
   /// environment (absent/unparseable disables the log entirely).
   std::int64_t slow_request_ms = -1;
+  /// FeatureCache entry cap (LRU eviction beyond it); 0 = unbounded.
+  std::size_t feature_cache_max = 0;
 };
 
 enum class RequestStatus { Ok, Rejected, DeadlineExceeded, Error };

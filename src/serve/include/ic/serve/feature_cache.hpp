@@ -10,11 +10,19 @@
 // with the selection's mask bits set — bit-identical to
 // data::gate_features(circuit, selection, set) computed from scratch.
 //
+// The cache is bounded: when an entry cap is set (serve: EngineOptions::
+// feature_cache_max, CLI: --feature-cache-max), inserting beyond it evicts
+// the least-recently-used entry, so many-distinct-circuit traffic cannot
+// grow memory without bound. Outstanding shared_ptr handles keep an evicted
+// entry alive until their requests finish; re-requesting it is a miss.
+//
 // Telemetry: counters serve.feature_cache.hits / serve.feature_cache.misses,
-// gauge serve.feature_cache.entries.
+// gauges serve.feature_cache.entries / serve.feature_cache.evictions
+// (cumulative count of LRU evictions).
 #pragma once
 
 #include <cstdint>
+#include <list>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -34,6 +42,10 @@ std::uint64_t netlist_fingerprint(const circuit::Netlist& netlist);
 
 class FeatureCache {
  public:
+  /// `max_entries` = 0 means unbounded.
+  explicit FeatureCache(std::size_t max_entries = 0)
+      : max_entries_(max_entries) {}
+
   /// Everything selection-independent about (circuit, features, kind).
   struct Entry {
     std::uint64_t fingerprint = 0;
@@ -64,13 +76,25 @@ class FeatureCache {
                                     const std::vector<circuit::GateId>& selection);
 
   std::size_t size() const;
+  std::size_t max_entries() const { return max_entries_; }
+  /// Change the cap; 0 = unbounded. Shrinking evicts LRU entries down to fit.
+  void set_max_entries(std::size_t max_entries);
   void clear();  ///< drop all entries (benchmarks; outstanding handles survive)
 
  private:
   using Key = std::tuple<std::uint64_t, data::FeatureSet, data::StructureKind>;
+  struct Slot {
+    std::shared_ptr<const Entry> entry;
+    std::list<Key>::iterator lru_pos;  ///< position in lru_ (front = hottest)
+  };
+
+  /// Drop LRU entries until the cap holds. Caller holds mu_.
+  void evict_locked();
 
   mutable std::mutex mu_;
-  std::map<Key, std::shared_ptr<const Entry>> entries_;
+  std::size_t max_entries_ = 0;
+  std::list<Key> lru_;  ///< most-recently-used first
+  std::map<Key, Slot> entries_;
 };
 
 }  // namespace ic::serve

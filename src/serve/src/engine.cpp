@@ -24,7 +24,7 @@ const char* status_name(RequestStatus status) {
 }
 
 InferenceEngine::InferenceEngine(ModelRegistry& registry, EngineOptions options)
-    : registry_(registry), options_(options) {
+    : registry_(registry), options_(options), features_(options.feature_cache_max) {
   IC_CHECK(options_.max_queue >= 1, "EngineOptions::max_queue must be >= 1");
   IC_CHECK(options_.max_batch >= 1, "EngineOptions::max_batch must be >= 1");
   slow_request_ms_ = options_.slow_request_ms;

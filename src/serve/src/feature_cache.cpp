@@ -32,7 +32,8 @@ std::shared_ptr<const FeatureCache::Entry> FeatureCache::get(
   const auto it = entries_.find(key);
   if (it != entries_.end()) {
     registry.counter("serve.feature_cache.hits").add(1);
-    return it->second;
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+    return it->second.entry;
   }
   registry.counter("serve.feature_cache.misses").add(1);
   telemetry::TraceSpan span("serve/featurize");
@@ -43,10 +44,22 @@ std::shared_ptr<const FeatureCache::Entry> FeatureCache::get(
   entry->base_features = data::gate_features(*circuit, {}, features);
   entry->features = features;
   entry->kind = kind;
-  entries_.emplace(key, entry);
+  lru_.push_front(key);
+  entries_.emplace(key, Slot{entry, lru_.begin()});
+  evict_locked();
   registry.gauge("serve.feature_cache.entries")
       .set(static_cast<double>(entries_.size()));
   return entry;
+}
+
+void FeatureCache::evict_locked() {
+  if (max_entries_ == 0) return;
+  auto& registry = telemetry::MetricsRegistry::global();
+  while (entries_.size() > max_entries_) {
+    entries_.erase(lru_.back());
+    lru_.pop_back();
+    registry.gauge("serve.feature_cache.evictions").add(1.0);
+  }
 }
 
 graph::Matrix FeatureCache::features_for(
@@ -63,9 +76,19 @@ std::size_t FeatureCache::size() const {
   return entries_.size();
 }
 
+void FeatureCache::set_max_entries(std::size_t max_entries) {
+  std::lock_guard<std::mutex> lock(mu_);
+  max_entries_ = max_entries;
+  evict_locked();
+  telemetry::MetricsRegistry::global()
+      .gauge("serve.feature_cache.entries")
+      .set(static_cast<double>(entries_.size()));
+}
+
 void FeatureCache::clear() {
   std::lock_guard<std::mutex> lock(mu_);
   entries_.clear();
+  lru_.clear();
   telemetry::MetricsRegistry::global()
       .gauge("serve.feature_cache.entries")
       .set(0.0);

@@ -41,6 +41,35 @@ TEST(Solver, TautologyAndDuplicatesSimplified) {
   EXPECT_TRUE(s.model_value(b));
 }
 
+TEST(Solver, ClausesAddedCountsOnlyAttachedClauses) {
+  Solver s;
+  const Var a = s.new_var();
+  const Var b = s.new_var();
+  const Var c = s.new_var();
+
+  EXPECT_TRUE(s.add_clause({pos(a), neg(a), pos(b)}));  // tautology: dropped
+  EXPECT_EQ(s.stats().clauses_added, 0u);
+
+  EXPECT_TRUE(s.add_clause({pos(a)}));  // unit enqueue, not a DB clause
+  EXPECT_EQ(s.stats().clauses_added, 0u);
+
+  EXPECT_TRUE(s.add_clause({pos(a), pos(b)}));  // satisfied at root: dropped
+  EXPECT_EQ(s.stats().clauses_added, 0u);
+
+  // Root-false literal stripped, but the remaining binary is attached.
+  EXPECT_TRUE(s.add_clause({neg(a), pos(b), pos(c)}));
+  EXPECT_EQ(s.stats().clauses_added, 1u);
+  EXPECT_EQ(s.num_clauses(), 1u);
+
+  EXPECT_TRUE(s.add_clause({pos(b), neg(c)}));  // plain attach
+  EXPECT_EQ(s.stats().clauses_added, 2u);
+
+  // The empty clause (after stripping ¬a) makes the solver Unsat and is not
+  // counted either.
+  EXPECT_FALSE(s.add_clause({neg(a)}));
+  EXPECT_EQ(s.stats().clauses_added, 2u);
+}
+
 TEST(Solver, ImplicationChainPropagates) {
   Solver s;
   std::vector<Var> v;

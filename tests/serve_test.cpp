@@ -156,6 +156,56 @@ TEST_F(ServeTest, FeatureCacheHitsOnSameCircuitAndMissesAcrossKinds) {
   EXPECT_EQ(cache.size(), 0u);
 }
 
+TEST_F(ServeTest, FeatureCacheEvictsLeastRecentlyUsedAtCap) {
+  auto make_circuit = [](std::uint64_t seed) {
+    circuit::GeneratorSpec spec;
+    spec.num_inputs = 8;
+    spec.num_outputs = 4;
+    spec.num_gates = 32;
+    spec.seed = seed;
+    return std::make_shared<const Netlist>(
+        circuit::generate_circuit(spec, "lru"));
+  };
+  const auto a = make_circuit(1);
+  const auto b = make_circuit(2);
+  const auto c = make_circuit(3);
+
+  auto& evictions =
+      telemetry::MetricsRegistry::global().gauge("serve.feature_cache.evictions");
+  const double evicted_before = evictions.value();
+
+  FeatureCache cache(/*max_entries=*/2);
+  const auto ea = cache.get(a, data::FeatureSet::All,
+                            data::StructureKind::Adjacency);
+  (void)cache.get(b, data::FeatureSet::All, data::StructureKind::Adjacency);
+  EXPECT_EQ(cache.size(), 2u);
+
+  // Touch `a` so `b` is now least recently used, then overflow with `c`.
+  (void)cache.get(a, data::FeatureSet::All, data::StructureKind::Adjacency);
+  (void)cache.get(c, data::FeatureSet::All, data::StructureKind::Adjacency);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(evictions.value(), evicted_before + 1.0);
+
+  // `a` survived the eviction (same shared entry), `b` did not (fresh build).
+  const auto ea2 = cache.get(a, data::FeatureSet::All,
+                             data::StructureKind::Adjacency);
+  EXPECT_EQ(ea2, ea);
+  const auto eb2 = cache.get(b, data::FeatureSet::All,
+                             data::StructureKind::Adjacency);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(evictions.value(), evicted_before + 2.0);
+  EXPECT_NE(eb2, nullptr);
+
+  // Shrinking the cap evicts down to fit; 0 lifts the bound again.
+  cache.set_max_entries(1);
+  EXPECT_EQ(cache.size(), 1u);
+  cache.set_max_entries(0);
+  (void)cache.get(a, data::FeatureSet::All, data::StructureKind::Adjacency);
+  (void)cache.get(b, data::FeatureSet::All, data::StructureKind::Adjacency);
+  (void)cache.get(c, data::FeatureSet::All, data::StructureKind::Adjacency);
+  EXPECT_EQ(cache.size(), 3u);
+}
+
 TEST_F(ServeTest, FeatureCacheSelectionMatchesDirectFeaturization) {
   FeatureCache cache;
   const auto entry = cache.get(circuit_, data::FeatureSet::All,

@@ -4,6 +4,9 @@
 //   icnet_cli lock    <in.bench> <out.bench> --scheme lut4|xor|antisat
 //                     [--gates N] [--width M] [--seed S]
 //   icnet_cli attack  <locked.bench> <oracle.bench> [--max-conflicts N]
+//                     [--model <est>]  predict the runtime up front, show
+//                                      predicted-vs-elapsed in heartbeats,
+//                                      and record calibration telemetry
 //   icnet_cli dataset <circuit.bench> <out.dataset> [--instances N]
 //                     [--min K] [--max K] [--seed S]
 //   icnet_cli train   <circuit.bench> <in.dataset> <out.model>
@@ -18,7 +21,11 @@
 //                     [--circuit C] [--timeout-ms T] [--request-id ID]
 //                     [--format json|prometheus]   (stats only)
 //   icnet_cli stats   --port P [--host H] [--format json|prometheus]
-//   icnet_cli health  --port P [--host H]    exit 0 iff the server is ready
+//                     [--timeout-ms T]   connect/IO bound, default 5000;
+//                                        unreachable server → one-line
+//                                        error, exit 2 (also health/query)
+//   icnet_cli health  --port P [--host H] [--timeout-ms T]
+//                     exit 0 iff the server is ready
 //   icnet_cli gen     <out.bench> [--gates N] [--inputs N] [--outputs N]
 //                     [--seed S]
 //
@@ -33,6 +40,13 @@
 //   --metrics-interval <ms>  with --metrics-out: additionally snapshot the
 //                         registry to that file every <ms> milliseconds
 //                         (atomic tmp+rename), so scrapers see live values
+//   --progress-interval <s>  emit a heartbeat log line per active job every
+//                         <s> seconds (progress, rate, ETA, RSS/CPU) and run
+//                         the stall watchdog; bypasses the log threshold
+//   --flight-dump <path>  where SIGSEGV/SIGABRT/SIGTERM (and watchdog
+//                         stalls) dump the flight-recorder ring. Defaults to
+//                         icnet_flight.<cmd>.dump for attack/dataset/train/
+//                         serve; "none" disables the handlers entirely
 //
 // Parallelism, accepted by every subcommand:
 //   --jobs N              worker threads for the parallel loops (dataset
@@ -43,6 +57,7 @@
 //
 // Exit code 0 on success, 1 on runtime errors, 2 on usage errors (unknown
 // subcommand, malformed flags); errors go to stderr.
+#include <algorithm>
 #include <chrono>
 #include <csignal>
 #include <cstdio>
@@ -164,6 +179,27 @@ int cmd_lock(const Args& a) {
   return 0;
 }
 
+ic::core::RuntimeEstimator open_estimator(const std::string& path);
+
+/// The obfuscated sites of a locked netlist, as seen from the attacker's
+/// side: key-programmed LUTs plus ordinary gates fed by a key input. This is
+/// the attack-time stand-in for the dataset's locked-gate selection.
+std::vector<ic::circuit::GateId> key_gate_selection(
+    const ic::circuit::Netlist& locked) {
+  std::vector<ic::circuit::GateId> selection;
+  for (ic::circuit::GateId id = 0; id < locked.size(); ++id) {
+    const auto& g = locked.gate(id);
+    if (g.kind == ic::circuit::GateKind::KeyInput) continue;
+    bool keyed = g.kind == ic::circuit::GateKind::Lut && g.key_base >= 0;
+    for (const ic::circuit::GateId f : g.fanins) {
+      if (keyed) break;
+      keyed = locked.gate(f).kind == ic::circuit::GateKind::KeyInput;
+    }
+    if (keyed) selection.push_back(id);
+  }
+  return selection;
+}
+
 int cmd_attack(const Args& a) {
   IC_CHECK(a.positional.size() == 2, "attack needs <locked.bench> <oracle.bench>");
   const auto locked = ic::circuit::read_bench_file(a.positional[0]);
@@ -171,6 +207,17 @@ int cmd_attack(const Args& a) {
   ic::attack::NetlistOracle oracle(oracle_netlist);
   ic::attack::AttackOptions options;
   options.max_conflicts = std::stoull(opt(a, "max-conflicts", "0"));
+  const std::string model = opt(a, "model", "");
+  if (!model.empty()) {
+    auto estimator = open_estimator(model);
+    estimator.set_circuit(locked);
+    const auto selection = key_gate_selection(locked);
+    IC_CHECK(!selection.empty(), "locked netlist has no key-driven gates");
+    options.predicted_seconds = estimator.predict_seconds(selection);
+    std::printf("predicted de-obfuscation runtime: %.6f s (%zu key gates)\n",
+                options.predicted_seconds, selection.size());
+    std::fflush(stdout);
+  }
   const auto r = ic::attack::sat_attack(locked, oracle, options);
   if (!r.success) {
     std::fprintf(stderr, "attack failed (cap hit: %s) after %zu DIPs\n",
@@ -355,13 +402,21 @@ void print_response(const ic::serve::WireResponse& response) {
 int cmd_query(const Args& a) {
   const std::string port = opt(a, "port", "");
   IC_CHECK(!port.empty(), "query needs --port P");
-  ic::serve::Client client(opt(a, "host", "127.0.0.1"), std::stoi(port));
+  // --timeout-ms keeps its meaning as the server-side request deadline; the
+  // socket IO bound rides above it (deadline + slack, or 30s when none) so a
+  // hung server still can't block the CLI forever.
+  const std::int64_t deadline_ms = std::stoll(opt(a, "timeout-ms", "-1"));
+  ic::serve::ClientOptions client_options;
+  client_options.io_timeout_ms =
+      deadline_ms >= 0 ? static_cast<int>(deadline_ms) + 5000 : 30000;
+  ic::serve::Client client(opt(a, "host", "127.0.0.1"), std::stoi(port),
+                           client_options);
 
   ic::serve::WireRequest request;
   request.op = opt(a, "op", "predict");
   request.model = opt(a, "model", "default");
   request.circuit = opt(a, "circuit", "default");
-  request.timeout_ms = std::stoll(opt(a, "timeout-ms", "-1"));
+  request.timeout_ms = deadline_ms;
   request.request_id = opt(a, "request-id", "");
   request.format = opt(a, "format", "");
   if (request.op == "predict") {
@@ -387,10 +442,22 @@ int cmd_query(const Args& a) {
   return 0;
 }
 
+/// stats/health are probes: bound both connect and IO by --timeout-ms
+/// (default 5000) so pointing them at an unreachable or hung server fails
+/// fast with a clear error instead of blocking.
+ic::serve::ClientOptions probe_options(const Args& a) {
+  const int timeout_ms = std::stoi(opt(a, "timeout-ms", "5000"));
+  ic::serve::ClientOptions options;
+  options.connect_timeout_ms = timeout_ms;
+  options.io_timeout_ms = timeout_ms;
+  return options;
+}
+
 int cmd_stats(const Args& a) {
   const std::string port = opt(a, "port", "");
   IC_CHECK(!port.empty(), "stats needs --port P");
-  ic::serve::Client client(opt(a, "host", "127.0.0.1"), std::stoi(port));
+  ic::serve::Client client(opt(a, "host", "127.0.0.1"), std::stoi(port),
+                           probe_options(a));
   const auto response = client.stats(opt(a, "format", ""));
   if (!response.ok) {
     std::fprintf(stderr, "error: %s (%s)\n", response.error.c_str(),
@@ -404,7 +471,8 @@ int cmd_stats(const Args& a) {
 int cmd_health(const Args& a) {
   const std::string port = opt(a, "port", "");
   IC_CHECK(!port.empty(), "health needs --port P");
-  ic::serve::Client client(opt(a, "host", "127.0.0.1"), std::stoi(port));
+  ic::serve::Client client(opt(a, "host", "127.0.0.1"), std::stoi(port),
+                           probe_options(a));
   const auto response = client.health();
   if (!response.ok) {
     std::fprintf(stderr, "error: %s (%s)\n", response.error.c_str(),
@@ -421,7 +489,8 @@ void usage() {
                "usage: icnet_cli <lock|attack|dataset|train|predict|serve|query|"
                "stats|health|gen> ...\n"
                "       [--jobs N] [--log-level L] [--trace-out F] [--metrics-out F]\n"
-               "       [--metrics-interval MS]\n"
+               "       [--metrics-interval MS] [--progress-interval S]\n"
+               "       [--flight-dump F|none]\n"
                "see the header of examples/icnet_cli.cpp for details\n");
 }
 
@@ -450,7 +519,9 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   std::string trace_out, metrics_out;
   std::unique_ptr<ic::telemetry::MetricsFlusher> flusher;
+  std::unique_ptr<ic::telemetry::Heartbeat> heartbeat;
   auto flush_telemetry = [&]() {
+    if (heartbeat != nullptr) heartbeat->stop();
     if (!trace_out.empty()) ic::telemetry::dump_trace(trace_out);
     if (flusher != nullptr) {
       flusher->stop();  // joins the thread and writes the final snapshot
@@ -492,12 +563,44 @@ int main(int argc, char** argv) {
       // reach every jobs=0 option and the global kernel pool alike.
       setenv("IC_JOBS", jobs.c_str(), 1);
     }
+    // Flight recorder: long-running commands get crash/stall dumps by
+    // default; any command can opt in with an explicit path, or out with
+    // "none". serve owns SIGTERM itself (graceful shutdown), so only the
+    // fatal signals are hooked there.
+    std::string flight_path = take_opt(args, "flight-dump");
+    const bool long_running = cmd == "attack" || cmd == "dataset" ||
+                              cmd == "train" || cmd == "serve";
+    if (flight_path.empty() && long_running) {
+      flight_path = "icnet_flight." + cmd + ".dump";
+    }
+    if (!flight_path.empty() && flight_path != "none") {
+      ic::telemetry::set_flight_dump_path(flight_path);
+      ic::telemetry::install_crash_handlers(/*handle_sigterm=*/cmd != "serve");
+    }
+    const std::string progress_interval = take_opt(args, "progress-interval");
+    if (!progress_interval.empty()) {
+      const double seconds = std::stod(progress_interval);
+      IC_CHECK(seconds > 0.0, "--progress-interval must be > 0 seconds");
+      ic::telemetry::HeartbeatOptions hb;
+      hb.interval = std::chrono::milliseconds(
+          static_cast<std::int64_t>(seconds * 1000.0));
+      // The user asked to watch: heartbeats bypass the log threshold.
+      hb.always_log = true;
+      hb.stall_after = std::max<std::chrono::milliseconds>(
+          hb.interval * 5, std::chrono::milliseconds(30000));
+      heartbeat = std::make_unique<ic::telemetry::Heartbeat>(hb);
+    }
     const int rc = dispatch(cmd, args);
     flush_telemetry();
     return rc;
   } catch (const UsageError& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     usage();
+    return 2;
+  } catch (const ic::serve::ConnectionError& e) {
+    // Probe against a dead/hung server: one line, exit 2 (distinct from
+    // runtime failures so scripts can tell "server down" from "bad request").
+    std::fprintf(stderr, "error: %s\n", e.what());
     return 2;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

@@ -125,7 +125,7 @@ echo "== checking prometheus exposition"
 python3 - "$WORK/metrics.prom" <<'PY'
 import sys
 
-count = None
+samples = {}
 for line in open(sys.argv[1]):
     line = line.rstrip("\n")
     if not line:
@@ -135,13 +135,19 @@ for line in open(sys.argv[1]):
         continue
     name, _, value = line.rpartition(" ")
     assert name and value, f"unparseable sample line: {line}"
-    float(value)  # every sample value must be numeric
-    if name == "serve_request_seconds_count":
-        count = float(value)
+    samples[name] = float(value)  # every sample value must be numeric
 
+count = samples.get("serve_request_seconds_count")
 assert count is not None, "serve_request_seconds histogram missing"
 assert count > 0, "serve_request_seconds_count is zero after the blast"
-print(f"OK: parseable exposition, serve_request_seconds_count={count:.0f}")
+
+# The progress plane samples /proc/self into process_* gauges; a zero RSS
+# or thread count means the sampler silently broke.
+for gauge in ("process_resident_memory_bytes", "process_threads",
+              "process_open_fds"):
+    assert samples.get(gauge, 0) > 0, f"{gauge} missing or zero"
+print(f"OK: parseable exposition, serve_request_seconds_count={count:.0f}, "
+      f"rss={samples['process_resident_memory_bytes']:.0f}B")
 PY
 
 echo "== graceful shutdown"

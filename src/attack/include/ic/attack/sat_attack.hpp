@@ -28,6 +28,11 @@ struct AttackOptions {
   /// propagation-heavy instances; this bounds those. Capped instances keep
   /// their deterministic effort counters as the label.
   double max_wall_seconds = 0.0;
+  /// Estimator prediction of this attack's runtime in seconds (<= 0 = none).
+  /// Observability only: surfaced as the heartbeat's predicted-vs-elapsed
+  /// ETA, and on completion the predicted/realized pair is recorded into the
+  /// estimator.calibration.* histograms. Never steers the attack.
+  double predicted_seconds = 0.0;
   sat::SolverConfig solver_config = {};
 };
 

@@ -1,5 +1,7 @@
 #include "ic/attack/sat_attack.hpp"
 
+#include <cmath>
+
 #include "ic/attack/encode.hpp"
 #include "ic/circuit/simulator.hpp"
 #include "ic/support/assert.hpp"
@@ -27,6 +29,16 @@ AttackResult sat_attack(const Netlist& locked, Oracle& oracle,
   telemetry::TraceSpan attack_span("sat_attack");
   auto& metrics = telemetry::MetricsRegistry::global();
   auto& dip_solve_hist = metrics.histogram("sat_attack.dip_solve_seconds");
+
+  // Live progress slot: phase + DIP count + solver effort counters, read by
+  // the heartbeat thread (progress.hpp). Publishing is a few relaxed atomic
+  // stores per DIP — unmeasurable next to a solve call.
+  telemetry::ProgressJob progress("sat_attack", options.max_iterations);
+  progress.set_phase("build_miter");
+  if (options.predicted_seconds > 0.0) {
+    progress.set_predicted_seconds(options.predicted_seconds);
+  }
+
   telemetry::TraceSpan miter_span("sat_attack/build_miter");
   Timer miter_timer;
 
@@ -96,6 +108,7 @@ AttackResult sat_attack(const Netlist& locked, Oracle& oracle,
   ICLOG(debug) << "miter built" << telemetry::kv("gates", locked.size())
                << telemetry::kv("keys", locked.num_keys())
                << telemetry::kv("seconds", miter_timer.seconds());
+  progress.set_phase("dip_search");
 
   // Simulator for folding the key-independent values of each DIP.
   const circuit::Simulator locked_sim(locked);
@@ -125,6 +138,32 @@ AttackResult sat_attack(const Netlist& locked, Oracle& oracle,
     metrics.counter("sat_attack.oracle_queries").add(result.oracle_queries);
     if (result.hit_cap) metrics.counter("sat_attack.caps_hit").add(1);
     metrics.gauge("sat_attack.last_wall_seconds").set(result.wall_seconds);
+
+    // Calibration telemetry: the estimator's prediction against the realized
+    // wall time. Capped attacks are excluded from the error histograms (their
+    // realized time is the cap, not the workload) but counted, so the capped
+    // fraction is visible next to the error distribution.
+    if (options.predicted_seconds > 0.0) {
+      metrics.counter("estimator.calibration.samples").add(1);
+      if (result.hit_cap) {
+        metrics.counter("estimator.calibration.capped").add(1);
+      } else {
+        const double actual = std::max(result.wall_seconds, 1e-9);
+        // Signed log-ratio: negative = overprediction, positive = the attack
+        // outlived its estimate; one decade per unit.
+        metrics
+            .histogram("estimator.calibration.signed_log10_error",
+                       {-3.0, -2.0, -1.0, -0.5, -0.25, -0.1, 0.0, 0.1, 0.25,
+                        0.5, 1.0, 2.0, 3.0})
+            .observe(std::log10(actual / options.predicted_seconds));
+        metrics
+            .histogram("estimator.calibration.abs_rel_error",
+                       {0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0,
+                        10.0})
+            .observe(std::fabs(actual - options.predicted_seconds) /
+                     options.predicted_seconds);
+      }
+    }
     ICLOG(info) << "sat_attack finished"
                 << telemetry::kv("success", result.success)
                 << telemetry::kv("hit_cap", result.hit_cap)
@@ -178,6 +217,9 @@ AttackResult sat_attack(const Netlist& locked, Oracle& oracle,
     }
     const std::vector<bool> response = oracle.query(dip);
     ++result.iterations;
+    progress.tick(result.iterations);
+    progress.set_counters("conflicts", solver.stats().conflicts,
+                          "propagations", solver.stats().propagations);
 
     // Constrain both key copies to reproduce the oracle response on the
     // DIP. Only the key-dependent cone is encoded: every other gate's value
@@ -206,6 +248,7 @@ AttackResult sat_attack(const Netlist& locked, Oracle& oracle,
   }
 
   // Miter UNSAT: extract any key satisfying the accumulated constraints.
+  progress.set_phase("extract_key");
   telemetry::TraceSpan extract_span("sat_attack/extract_key");
   solver.set_max_conflicts(remaining_budget());
   const Result r = solver.solve({sat::neg(act)});

@@ -40,6 +40,10 @@ Dataset generate_dataset(const Netlist& circuit, const DatasetOptions& options) 
   auto& metrics = telemetry::MetricsRegistry::global();
   auto& instance_counter = metrics.counter("dataset.instances");
   auto& label_hist = metrics.histogram("dataset.label_seconds");
+  // Instance N/M for the heartbeat; advanced from whichever worker finishes
+  // an instance (ProgressJob is thread-safe).
+  telemetry::ProgressJob progress("dataset.label", options.num_instances);
+  progress.set_phase("label");
 
   // One attack per task. Every instance draws from its own Rng seeded by
   // (options.seed, i), so the result is bit-identical at any jobs value —
@@ -73,6 +77,7 @@ Dataset generate_dataset(const Netlist& circuit, const DatasetOptions& options) 
                                                  : inst.attack.estimated_seconds();
     instance_counter.add(1);
     label_hist.observe(inst.runtime_seconds);
+    progress.advance(1);
     // Emitted from the labeling task itself with the instance index, so
     // interleaved lines from concurrent workers stay attributable.
     ICLOG(debug) << "labeled instance" << telemetry::kv("index", i)

@@ -21,6 +21,9 @@ TrainReport train_gnn(GnnRegressor& model, const std::vector<GraphSample>& train
   auto& metrics = telemetry::MetricsRegistry::global();
   auto& epoch_hist = metrics.histogram("train.epoch_seconds");
   auto& epoch_counter = metrics.counter("train.epochs");
+  // Epoch N/M for the heartbeat; early stopping just ends short of total.
+  telemetry::ProgressJob progress("train_gnn", options.max_epochs);
+  progress.set_phase("epoch");
   Timer train_timer;
   Adam optimizer(options.learning_rate, 0.9, 0.999, 1e-8, options.weight_decay);
   Rng rng(options.seed);
@@ -122,6 +125,7 @@ TrainReport train_gnn(GnnRegressor& model, const std::vector<GraphSample>& train
 
     epoch_counter.add(1);
     epoch_hist.observe(epoch_timer.seconds());
+    progress.tick(epoch + 1);
     metrics.gauge("train.loss").set(epoch_loss);
     metrics.gauge("train.grad_norm").set(last_grad_norm);
     ICLOG(debug) << "epoch done" << telemetry::kv("epoch", epoch)

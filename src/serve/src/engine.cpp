@@ -2,10 +2,12 @@
 
 #include <cmath>
 #include <cstdlib>
+#include <mutex>
 
 #include "ic/support/assert.hpp"
 #include "ic/support/log.hpp"
 #include "ic/support/metrics.hpp"
+#include "ic/support/progress.hpp"
 #include "ic/support/trace.hpp"
 
 namespace ic::serve {
@@ -32,7 +34,19 @@ InferenceEngine::InferenceEngine(ModelRegistry& registry, EngineOptions options)
     if (const char* env = std::getenv("IC_SLOW_REQUEST_MS")) {
       char* end = nullptr;
       const long value = std::strtol(env, &end, 10);
-      if (end != env && *end == '\0' && value >= 0) slow_request_ms_ = value;
+      if (end != env && *end == '\0' && value >= 0) {
+        slow_request_ms_ = value;
+      } else if (*env != '\0') {
+        // Same contract as IC_LOG_LEVEL: a set-but-unparsable knob warns once
+        // naming the value and the accepted range instead of silently keeping
+        // slow-request logging disabled.
+        static std::once_flag warned;
+        std::call_once(warned, [env] {
+          ICLOG(warn) << "IC_SLOW_REQUEST_MS='" << env
+                      << "' is not a threshold (accepted: integers >= 0, "
+                      << "milliseconds); slow-request logging stays disabled";
+        });
+      }
     }
   }
   if (options_.jobs == 0) {
@@ -215,6 +229,11 @@ PredictResult InferenceEngine::process_inner(const Pending& pending,
 void InferenceEngine::batcher_loop() {
   auto& metrics = telemetry::MetricsRegistry::global();
   auto& latency = metrics.histogram("serve.request_seconds");
+  // Heartbeat slot for the batcher: requests served + live queue depth. The
+  // batcher idles legitimately between requests, so the stall watchdog is off.
+  telemetry::ProgressJob progress("serve.batcher");
+  progress.set_watchdog(false);
+  std::uint64_t served = 0, batches = 0;
   for (;;) {
     std::vector<std::unique_ptr<Pending>> batch;
     {
@@ -249,6 +268,10 @@ void InferenceEngine::batcher_loop() {
             std::chrono::duration<double>(done - batch[i]->enqueued).count());
         batch[i]->promise.set_value(std::move(results[i]));
       }
+      served += batch.size();
+      ++batches;
+      progress.tick(served);
+      progress.set_counters("batches", batches, "queue_depth", queue_depth());
     }
 
     {

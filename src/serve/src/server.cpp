@@ -13,6 +13,7 @@
 #include "ic/support/assert.hpp"
 #include "ic/support/log.hpp"
 #include "ic/support/metrics.hpp"
+#include "ic/support/progress.hpp"
 
 // Build stamp reported by {"op":"health"}; CMake passes the project version.
 #ifndef ICNET_VERSION
@@ -261,6 +262,7 @@ std::string Server::handle_line(const std::string& line,
       resp.set("ok", JsonValue::boolean(true));
     } else if (req.op == "health") {
       auto& metrics = telemetry::MetricsRegistry::global();
+      const telemetry::ProcessStats proc = telemetry::sample_process_stats();
       const std::size_t depth = engine_.queue_depth();
       const std::size_t capacity = engine_.max_queue();
       const bool ready = registry_.size() > 0 && depth < capacity;
@@ -279,8 +281,11 @@ std::string Server::handle_line(const std::string& line,
       resp.set("open_connections",
                JsonValue::number(
                    metrics.gauge("serve.open_connections").value()));
+      if (proc.ok) resp.set("rss_bytes", JsonValue::number(proc.rss_bytes));
     } else if (req.op == "stats") {
       auto& metrics = telemetry::MetricsRegistry::global();
+      // Refresh the process.* gauges so both formats report current values.
+      const telemetry::ProcessStats proc = telemetry::sample_process_stats();
       resp.set("ok", JsonValue::boolean(true));
       if (req.format == "prometheus") {
         // The JSON-lines framing cannot carry raw multi-line exposition
@@ -319,9 +324,23 @@ std::string Server::handle_line(const std::string& line,
         resp.set("feature_cache_misses",
                  JsonValue::number(static_cast<double>(
                      metrics.counter("serve.feature_cache.misses").value())));
+        if (proc.ok) {
+          resp.set("process_rss_bytes", JsonValue::number(proc.rss_bytes));
+          resp.set("process_cpu_seconds",
+                   JsonValue::number(proc.cpu_user_seconds +
+                                     proc.cpu_system_seconds));
+          resp.set("process_threads", JsonValue::number(proc.threads));
+          resp.set("process_open_fds", JsonValue::number(proc.open_fds));
+        }
         const auto& latency = metrics.histogram("serve.request_seconds");
-        resp.set("p50_latency_seconds", JsonValue::number(latency.quantile(0.5)));
-        resp.set("p99_latency_seconds", JsonValue::number(latency.quantile(0.99)));
+        // Quantiles of an empty histogram are undefined, not 0.0: omit them
+        // until the first request so dashboards don't plot a fake zero.
+        if (latency.count() > 0) {
+          resp.set("p50_latency_seconds",
+                   JsonValue::number(latency.quantile(0.5)));
+          resp.set("p99_latency_seconds",
+                   JsonValue::number(latency.quantile(0.99)));
+        }
       }
     } else if (req.op == "shutdown") {
       resp.set("ok", JsonValue::boolean(true));

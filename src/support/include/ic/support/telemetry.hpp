@@ -1,6 +1,8 @@
 // Umbrella header for the ic::telemetry subsystem — structured logging
-// (log.hpp), the metrics registry (metrics.hpp), and Chrome-trace spans
-// (trace.hpp) — plus the file-dump helpers shared by the CLI and benches.
+// (log.hpp), the metrics registry (metrics.hpp), Chrome-trace spans
+// (trace.hpp), the crash/stall flight recorder (flight_recorder.hpp), and the
+// live progress plane (progress.hpp) — plus the file-dump helpers shared by
+// the CLI and benches.
 //
 // Environment variables honoured by the subsystem:
 //   IC_LOG_LEVEL       trace|debug|info|warn|error|off   (default: warn;
@@ -14,8 +16,10 @@
 #include <string>
 #include <thread>
 
+#include "ic/support/flight_recorder.hpp"
 #include "ic/support/log.hpp"
 #include "ic/support/metrics.hpp"
+#include "ic/support/progress.hpp"
 #include "ic/support/trace.hpp"
 
 namespace ic::telemetry {

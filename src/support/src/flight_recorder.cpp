@@ -1,0 +1,230 @@
+#include "ic/support/flight_recorder.hpp"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "ic/support/assert.hpp"
+#include "ic/support/log.hpp"
+
+namespace ic::telemetry {
+
+namespace {
+
+// ---- async-signal-safe formatting helpers -------------------------------
+// No stdio, no allocation: the dump path must work from a signal handler on
+// a corrupted heap.
+
+std::size_t fmt_u64(char* buf, std::uint64_t v) {
+  char tmp[20];
+  std::size_t n = 0;
+  do {
+    tmp[n++] = static_cast<char>('0' + v % 10);
+    v /= 10;
+  } while (v != 0);
+  for (std::size_t i = 0; i < n; ++i) buf[i] = tmp[n - 1 - i];
+  return n;
+}
+
+std::size_t fmt_i64(char* buf, std::int64_t v) {
+  if (v >= 0) return fmt_u64(buf, static_cast<std::uint64_t>(v));
+  buf[0] = '-';
+  // Negate via unsigned arithmetic so INT64_MIN stays defined.
+  return 1 + fmt_u64(buf + 1, ~static_cast<std::uint64_t>(v) + 1);
+}
+
+void write_all(int fd, const char* data, std::size_t len) {
+  std::size_t written = 0;
+  while (written < len) {
+    const ssize_t n = ::write(fd, data + written, len - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;  // nothing recoverable from a signal handler
+    }
+    written += static_cast<std::size_t>(n);
+  }
+}
+
+struct LineBuf {
+  char data[256];
+  std::size_t len = 0;
+  void str(const char* s) {
+    while (*s != '\0' && len < sizeof(data)) data[len++] = *s++;
+  }
+  void raw(const char* s, std::size_t n) {
+    if (n > sizeof(data) - len) n = sizeof(data) - len;
+    std::memcpy(data + len, s, n);
+    len += n;
+  }
+  void u64(std::uint64_t v) {
+    if (len + 20 <= sizeof(data)) len += fmt_u64(data + len, v);
+  }
+  void i64(std::int64_t v) {
+    if (len + 21 <= sizeof(data)) len += fmt_i64(data + len, v);
+  }
+};
+
+}  // namespace
+
+FlightRecorder& FlightRecorder::global() {
+  // Intentionally leaked — late log lines append after static destructors.
+  static FlightRecorder* recorder = new FlightRecorder();
+  return *recorder;
+}
+
+FlightRecorder::FlightRecorder(std::size_t capacity) : capacity_(capacity) {
+  IC_ASSERT(capacity_ >= 1);
+  slots_ = std::make_unique<Slot[]>(capacity_);
+}
+
+void FlightRecorder::append(const char* text, std::size_t len) {
+  if (!enabled()) return;
+  if (len > kTextMax) len = kTextMax;
+  const std::uint64_t seq = next_.fetch_add(1, std::memory_order_acq_rel);
+  Slot& slot = slots_[seq % capacity_];
+  slot.version.store(2 * seq + 1, std::memory_order_release);
+  slot.ts_us.store(process_micros(), std::memory_order_relaxed);
+  slot.len.store(static_cast<std::uint32_t>(len), std::memory_order_relaxed);
+  for (std::size_t w = 0; w * 8 < len; ++w) {
+    std::uint64_t word = 0;
+    std::memcpy(&word, text + w * 8, std::min<std::size_t>(8, len - w * 8));
+    slot.words[w].store(word, std::memory_order_relaxed);
+  }
+  slot.version.store(2 * seq + 2, std::memory_order_release);
+}
+
+bool FlightRecorder::read_slot(std::uint64_t seq, Record* out) const {
+  const Slot& slot = slots_[seq % capacity_];
+  const std::uint64_t expected = 2 * seq + 2;
+  if (slot.version.load(std::memory_order_acquire) != expected) return false;
+  const std::int64_t ts = slot.ts_us.load(std::memory_order_relaxed);
+  std::uint32_t len = slot.len.load(std::memory_order_relaxed);
+  if (len > kTextMax) return false;  // torn read beat the version check
+  char text[kTextMax];
+  for (std::size_t w = 0; w * 8 < len; ++w) {
+    const std::uint64_t word = slot.words[w].load(std::memory_order_relaxed);
+    std::memcpy(text + w * 8, &word, std::min<std::size_t>(8, len - w * 8));
+  }
+  std::atomic_thread_fence(std::memory_order_acquire);
+  if (slot.version.load(std::memory_order_relaxed) != expected) return false;
+  out->seq = seq;
+  out->ts_us = ts;
+  out->text.assign(text, len);
+  return true;
+}
+
+std::vector<FlightRecorder::Record> FlightRecorder::snapshot() const {
+  const std::uint64_t total = next_.load(std::memory_order_acquire);
+  const std::uint64_t first = total > capacity_ ? total - capacity_ : 0;
+  std::vector<Record> out;
+  out.reserve(static_cast<std::size_t>(total - first));
+  Record record;
+  for (std::uint64_t seq = first; seq < total; ++seq) {
+    if (read_slot(seq, &record)) out.push_back(std::move(record));
+  }
+  return out;
+}
+
+void FlightRecorder::dump(int fd, int signal) const {
+  const std::uint64_t total = next_.load(std::memory_order_acquire);
+  const std::uint64_t first = total > capacity_ ? total - capacity_ : 0;
+  {
+    LineBuf line;
+    line.str("# icnet flight recorder signal=");
+    line.u64(static_cast<std::uint64_t>(signal));
+    line.str(" total=");
+    line.u64(total);
+    line.str(" capacity=");
+    line.u64(capacity_);
+    line.str("\n");
+    write_all(fd, line.data, line.len);
+  }
+  // A signal-context dump cannot allocate, so slots are re-validated inline
+  // (the same protocol read_slot uses) into stack buffers.
+  for (std::uint64_t seq = first; seq < total; ++seq) {
+    const Slot& slot = slots_[seq % capacity_];
+    const std::uint64_t expected = 2 * seq + 2;
+    if (slot.version.load(std::memory_order_acquire) != expected) continue;
+    const std::int64_t ts = slot.ts_us.load(std::memory_order_relaxed);
+    std::uint32_t len = slot.len.load(std::memory_order_relaxed);
+    if (len > kTextMax) continue;
+    char text[kTextMax];
+    for (std::size_t w = 0; w * 8 < len; ++w) {
+      const std::uint64_t word = slot.words[w].load(std::memory_order_relaxed);
+      std::memcpy(text + w * 8, &word, std::min<std::size_t>(8, len - w * 8));
+    }
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (slot.version.load(std::memory_order_relaxed) != expected) continue;
+    LineBuf line;
+    line.str("seq=");
+    line.u64(seq);
+    line.str(" ts_us=");
+    line.i64(ts);
+    line.str(" | ");
+    line.raw(text, len);
+    line.str("\n");
+    write_all(fd, line.data, line.len);
+  }
+}
+
+bool FlightRecorder::dump_to_file(const char* path, int signal) const {
+  const int fd = ::open(path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return false;
+  dump(fd, signal);
+  ::close(fd);
+  return true;
+}
+
+// ---- crash handlers ------------------------------------------------------
+
+namespace {
+
+char g_dump_path[512] = {0};
+std::atomic<int> g_dumping{0};
+
+extern "C" void flight_signal_handler(int sig) {
+  // First signal wins; a fault inside the dump must not recurse into it.
+  if (g_dumping.exchange(1, std::memory_order_acq_rel) == 0 &&
+      g_dump_path[0] != '\0') {
+    FlightRecorder::global().dump_to_file(g_dump_path, sig);
+    LineBuf note;
+    note.str("icnet: flight recorder dumped to ");
+    note.str(g_dump_path);
+    note.str(" on signal ");
+    note.u64(static_cast<std::uint64_t>(sig));
+    note.str("\n");
+    write_all(2, note.data, note.len);
+  }
+  if (sig == SIGTERM) _exit(128 + SIGTERM);
+  // Fatal signals keep their default semantics (core dump, wait status).
+  ::signal(sig, SIG_DFL);
+  ::raise(sig);
+}
+
+}  // namespace
+
+void set_flight_dump_path(const std::string& path) {
+  const std::size_t n = std::min(path.size(), sizeof(g_dump_path) - 1);
+  std::memcpy(g_dump_path, path.data(), n);
+  g_dump_path[n] = '\0';
+}
+
+const char* flight_dump_path() { return g_dump_path; }
+
+void install_crash_handlers(bool handle_sigterm) {
+  // Touch the singleton now: its first-use guard is not async-signal-safe,
+  // so it must exist before any handler can fire.
+  FlightRecorder::global();
+  struct sigaction action {};
+  action.sa_handler = flight_signal_handler;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;
+  ::sigaction(SIGSEGV, &action, nullptr);
+  ::sigaction(SIGABRT, &action, nullptr);
+  ::sigaction(SIGBUS, &action, nullptr);
+  if (handle_sigterm) ::sigaction(SIGTERM, &action, nullptr);
+}
+
+}  // namespace ic::telemetry

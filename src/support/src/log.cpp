@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "ic/support/assert.hpp"
+#include "ic/support/flight_recorder.hpp"
 
 namespace ic::telemetry {
 
@@ -139,6 +140,9 @@ std::shared_ptr<LogSink> Logger::sink() const {
 }
 
 void Logger::write(const std::string& line) {
+  // Every emitted line also lands in the flight recorder, so a crash dump
+  // carries the recent log tail even when the sink was stderr on a lost tty.
+  FlightRecorder::global().append(line);
   // Copy the sink pointer under the lock, write outside it: a slow sink must
   // not serialize unrelated threads beyond the line boundary.
   std::shared_ptr<LogSink> sink;

@@ -2,9 +2,11 @@
 
 #include <cstdlib>
 #include <exception>
+#include <mutex>
 #include <string>
 
 #include "ic/support/assert.hpp"
+#include "ic/support/log.hpp"
 #include "ic/support/metrics.hpp"
 #include "ic/support/trace.hpp"
 
@@ -55,6 +57,15 @@ std::size_t ThreadPool::effective_jobs(std::size_t requested) {
     if (end != env && *end == '\0' && v > 0) {
       return static_cast<std::size_t>(v);
     }
+    // Same contract as IC_LOG_LEVEL: a set-but-unparsable knob warns once
+    // naming the value and the accepted range instead of silently degrading
+    // a parallel run to one worker.
+    static std::once_flag warned;
+    std::call_once(warned, [env] {
+      ICLOG(warn) << "IC_JOBS='" << env
+                  << "' is not a worker count (accepted: integers >= 1); "
+                  << "falling back to 1 worker";
+    });
   }
   return 1;
 }

@@ -6,6 +6,7 @@
 #include "ic/locking/lut_lock.hpp"
 #include "ic/locking/policy.hpp"
 #include "ic/locking/xor_lock.hpp"
+#include "ic/support/metrics.hpp"
 
 namespace ic::attack {
 namespace {
@@ -157,6 +158,49 @@ TEST(SatAttack, RequiresKeyInputs) {
   const Netlist original = circuit::c17();
   NetlistOracle oracle(original);
   EXPECT_THROW(sat_attack(original, oracle), std::logic_error);
+}
+
+TEST(SatAttack, PredictedRuntimeFeedsCalibrationTelemetry) {
+  auto& metrics = telemetry::MetricsRegistry::global();
+  const std::uint64_t samples_before =
+      metrics.counter("estimator.calibration.samples").value();
+  auto& signed_hist =
+      metrics.histogram("estimator.calibration.signed_log10_error");
+  auto& rel_hist = metrics.histogram("estimator.calibration.abs_rel_error");
+  const std::uint64_t signed_before = signed_hist.count();
+  const std::uint64_t rel_before = rel_hist.count();
+
+  const Netlist original = circuit::c17();
+  const auto sel =
+      locking::select_gates(original, 2, locking::SelectionPolicy::Random, 3);
+  const auto locked = locking::lut_lock(original, sel);
+  NetlistOracle oracle(original);
+  AttackOptions opt;
+  opt.predicted_seconds = 0.5;  // pretend the GNN forecast half a second
+  const AttackResult r = sat_attack(locked.locked, oracle, opt);
+  ASSERT_TRUE(r.success);
+
+  EXPECT_EQ(metrics.counter("estimator.calibration.samples").value(),
+            samples_before + 1);
+  EXPECT_EQ(signed_hist.count(), signed_before + 1);
+  EXPECT_EQ(rel_hist.count(), rel_before + 1);
+}
+
+TEST(SatAttack, NoPredictionMeansNoCalibrationSample) {
+  auto& metrics = telemetry::MetricsRegistry::global();
+  const std::uint64_t samples_before =
+      metrics.counter("estimator.calibration.samples").value();
+
+  const Netlist original = circuit::c17();
+  const auto sel =
+      locking::select_gates(original, 2, locking::SelectionPolicy::Random, 5);
+  const auto locked = locking::lut_lock(original, sel);
+  NetlistOracle oracle(original);
+  const AttackResult r = sat_attack(locked.locked, oracle);
+  ASSERT_TRUE(r.success);
+
+  EXPECT_EQ(metrics.counter("estimator.calibration.samples").value(),
+            samples_before);
 }
 
 }  // namespace

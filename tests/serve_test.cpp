@@ -3,6 +3,11 @@
 // including bit-identical concurrent vs. serial predictions.
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <chrono>
 #include <fstream>
 #include <random>
@@ -593,6 +598,117 @@ TEST_F(ServeTest, RemoteShutdownDrainsGracefully) {
 
   // The listener is gone: new connections must fail.
   EXPECT_THROW(Client("127.0.0.1", port), std::exception);
+}
+
+TEST_F(ServeTest, StatsOmitsLatencyQuantilesUntilFirstSample) {
+  // The registry is process-global and earlier tests already served requests;
+  // reset it so serve.request_seconds is genuinely empty again.
+  telemetry::MetricsRegistry::global().reset();
+
+  ModelRegistry registry;
+  registry.load("default", model_path_);
+  InferenceEngine engine(registry, {});
+  engine.register_circuit("default", circuit_);
+  Server server(engine, registry, {});
+  server.start();
+
+  Client client("127.0.0.1", server.port());
+  const auto empty = client.stats();
+  EXPECT_TRUE(empty.ok);
+  // Quantiles of an empty histogram are undefined: the fields must be
+  // absent, not 0.0 (a fake zero would poison dashboards and alerts).
+  EXPECT_EQ(empty.raw.find("p50_latency_seconds"), nullptr);
+  EXPECT_EQ(empty.raw.find("p99_latency_seconds"), nullptr);
+
+  WireRequest predict;
+  predict.select = {3, 9};
+  ASSERT_TRUE(client.call(predict).ok);
+  const auto after = client.stats();
+  ASSERT_NE(after.raw.find("p50_latency_seconds"), nullptr);
+  ASSERT_NE(after.raw.find("p99_latency_seconds"), nullptr);
+  EXPECT_GT(after.raw.find("p99_latency_seconds")->as_number(), 0.0);
+
+  server.shutdown();
+  engine.stop();
+}
+
+#if defined(__linux__)
+TEST_F(ServeTest, StatsAndHealthCarryProcessStats) {
+  ModelRegistry registry;
+  registry.load("default", model_path_);
+  InferenceEngine engine(registry, {});
+  engine.register_circuit("default", circuit_);
+  Server server(engine, registry, {});
+  server.start();
+
+  Client client("127.0.0.1", server.port());
+  const auto stats = client.stats();
+  ASSERT_NE(stats.raw.find("process_rss_bytes"), nullptr);
+  EXPECT_GT(stats.raw.find("process_rss_bytes")->as_number(), 0.0);
+  ASSERT_NE(stats.raw.find("process_threads"), nullptr);
+  EXPECT_GE(stats.raw.find("process_threads")->as_number(), 1.0);
+  ASSERT_NE(stats.raw.find("process_open_fds"), nullptr);
+  EXPECT_GT(stats.raw.find("process_open_fds")->as_number(), 0.0);
+  ASSERT_NE(stats.raw.find("process_cpu_seconds"), nullptr);
+
+  const auto health = client.health();
+  ASSERT_NE(health.raw.find("rss_bytes"), nullptr);
+  EXPECT_GT(health.raw.find("rss_bytes")->as_number(), 0.0);
+
+  // The same sampling feeds the shared Prometheus exposition.
+  const auto prom = client.stats("prometheus");
+  const std::string text = prom.raw.find("prometheus")->as_string();
+  EXPECT_NE(text.find("process_resident_memory_bytes"), std::string::npos);
+  EXPECT_NE(text.find("process_open_fds"), std::string::npos);
+
+  server.shutdown();
+  engine.stop();
+}
+#endif
+
+TEST(ClientTimeout, RefusedConnectionRaisesConnectionError) {
+  // Bind-then-close: the port was just free, so connecting is refused fast.
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+  const int port = ntohs(addr.sin_port);
+  ::close(fd);
+  EXPECT_THROW(Client("127.0.0.1", port), ConnectionError);
+}
+
+TEST(ClientTimeout, HungServerRaisesConnectionErrorInsteadOfBlocking) {
+  // A listener that never accepts: the kernel completes the TCP handshake
+  // into the backlog, so connect succeeds but no response ever arrives —
+  // exactly the "hung server" a probe must not block on.
+  int listener = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(listener, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  ASSERT_EQ(::listen(listener, 4), 0);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(::getsockname(listener, reinterpret_cast<sockaddr*>(&addr), &len),
+            0);
+
+  ClientOptions options;
+  options.connect_timeout_ms = 2000;
+  options.io_timeout_ms = 100;
+  Client client("127.0.0.1", ntohs(addr.sin_port), options);
+  const auto started = std::chrono::steady_clock::now();
+  EXPECT_THROW(client.ping(), ConnectionError);
+  const auto elapsed = std::chrono::steady_clock::now() - started;
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            5000)
+      << "the IO timeout must bound the wait";
+  ::close(listener);
 }
 
 }  // namespace

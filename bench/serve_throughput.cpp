@@ -8,7 +8,9 @@
 #include <sys/stat.h>
 
 #include <cstdio>
+#include <future>
 #include <random>
+#include <thread>
 #include <vector>
 
 #include "bench_common.hpp"
@@ -156,6 +158,75 @@ int main() {
     icbench::record_measurement(tag + ".requests_per_second", rps);
     icbench::record_measurement(tag + ".p50_latency_seconds", p50);
     icbench::record_measurement(tag + ".p99_latency_seconds", p99);
+  }
+
+  // Shards axis: N independent engine pipelines (each with a private
+  // single-worker pool) fed from multiple submitter threads, the
+  // configuration `icnet_cli serve --shards N --jobs 1` runs. Submission is
+  // striped across 4 threads so the measurement is not capped by one
+  // submitting core the way the jobs axis above is.
+  std::printf("%8s %12s %12s %12s\n", "shards", "requests/s", "p50 (ms)",
+              "p99 (ms)");
+  double shards1_rps = 0.0;
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{2},
+                                   std::size_t{4}}) {
+    ic::serve::ModelRegistry registry;
+    registry.load("default", model_path);
+    ic::serve::EngineOptions options;
+    options.shards = shards;
+    options.jobs = 1;
+    options.max_batch = 64;
+    options.max_queue = requests + 1;
+    ic::serve::InferenceEngine engine(registry, options);
+    engine.register_circuit("default", circuit);
+
+    // Warm the cache and every shard's replicas out of band.
+    for (std::size_t i = 0; i < selections.size(); ++i) {
+      ic::serve::PredictRequest warmup;
+      warmup.selection = selections[i];
+      engine.predict(std::move(warmup));
+      if (i >= 32) break;
+    }
+    metrics.histogram("serve.request_seconds").reset();
+
+    const std::size_t submitters = 4;
+    std::vector<std::future<ic::serve::PredictResult>> futures(requests);
+    std::vector<std::thread> threads;
+    ic::Timer timer;
+    for (std::size_t t = 0; t < submitters; ++t) {
+      threads.emplace_back([&, t] {
+        for (std::size_t i = t; i < requests; i += submitters) {
+          ic::serve::PredictRequest request;
+          request.selection = selections[i];
+          futures[i] = engine.submit(std::move(request));
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+    for (auto& f : futures) {
+      const auto result = f.get();
+      if (!result.ok()) {
+        std::fprintf(stderr, "request failed: %s\n", result.error.c_str());
+        return 1;
+      }
+    }
+    const double wall = timer.seconds();
+    engine.stop();
+
+    const auto& latency = metrics.histogram("serve.request_seconds");
+    const double rps = static_cast<double>(requests) / wall;
+    const double p50 = latency.quantile(0.50);
+    const double p99 = latency.quantile(0.99);
+    std::printf("%8zu %12.0f %12.3f %12.3f\n", shards, rps, p50 * 1e3,
+                p99 * 1e3);
+    if (shards == 1) shards1_rps = rps;
+    const std::string tag = "serve.shards" + std::to_string(shards);
+    icbench::record_measurement(tag + ".requests_per_second", rps);
+    icbench::record_measurement(tag + ".p50_latency_seconds", p50);
+    icbench::record_measurement(tag + ".p99_latency_seconds", p99);
+    if (shards == 4 && shards1_rps > 0) {
+      std::printf("shards=1 -> shards=4 scaling: %.2fx\n", rps / shards1_rps);
+    }
   }
 
   icbench::flush_bench_metrics();

@@ -14,8 +14,9 @@
 //                     [--select-file F]   one "id,id,..." selection per line,
 //                                         one prediction per output line
 //   icnet_cli serve   <circuit.bench> <model> --port P [--host H]
-//                     [--max-queue N] [--batch B] [--timeout-ms T]
-//                     [--reload-ms R] [--slow-ms T] [--feature-cache-max N]
+//                     [--shards N] [--io-threads N] [--max-queue N]
+//                     [--batch B] [--timeout-ms T] [--reload-ms R]
+//                     [--slow-ms T] [--feature-cache-max N]
 //   icnet_cli query   --port P [--host H] --select "12,57,101"
 //                     [--op predict|ping|stats|health|shutdown] [--model M]
 //                     [--circuit C] [--timeout-ms T] [--request-id ID]
@@ -345,6 +346,7 @@ int cmd_serve(const Args& a) {
   registry.load("default", a.positional[1]);
 
   ic::serve::EngineOptions engine_options;
+  engine_options.shards = std::stoul(opt(a, "shards", "1"));
   engine_options.max_queue = std::stoul(opt(a, "max-queue", "1024"));
   engine_options.max_batch = std::stoul(opt(a, "batch", "32"));
   engine_options.default_timeout_ms = std::stoll(opt(a, "timeout-ms", "-1"));
@@ -358,6 +360,7 @@ int cmd_serve(const Args& a) {
   server_options.host = opt(a, "host", "127.0.0.1");
   server_options.port = std::stoi(opt(a, "port", "0"));
   server_options.reload_poll_ms = std::stoll(opt(a, "reload-ms", "1000"));
+  server_options.io_threads = std::stoul(opt(a, "io-threads", "2"));
   ic::serve::Server server(engine, registry, server_options);
   server.start();
   std::printf("serving %s with model %s on %s:%d\n", a.positional[0].c_str(),

@@ -46,9 +46,11 @@ if [[ -n "${SMOKE_ARTIFACT_DIR:-}" ]]; then
                    --trace-out "$SMOKE_ARTIFACT_DIR/serve_trace.json")
 fi
 
-echo "== starting server on 127.0.0.1:$PORT"
+SHARDS=${SMOKE_SHARDS:-4}
+echo "== starting server on 127.0.0.1:$PORT with $SHARDS shards"
 "$CLI" serve "$CACHE/circuit.bench" "$CACHE/model.txt" --port "$PORT" \
-  --max-queue 4096 --batch 32 --jobs 4 "${TELEMETRY_FLAGS[@]}" \
+  --shards "$SHARDS" --io-threads 2 --max-queue 4096 --batch 32 --jobs 1 \
+  "${TELEMETRY_FLAGS[@]}" \
   > "$WORK/serve.log" 2>&1 &
 SERVE_PID=$!
 
@@ -105,7 +107,20 @@ print(f"OK: {clients * per_client} concurrent requests all answered")
 PY
 
 echo "== checking server stats"
-"$CLI" query --port "$PORT" --op stats
+"$CLI" query --port "$PORT" --op stats > "$WORK/stats.json"
+cat "$WORK/stats.json"
+python3 - "$WORK/stats.json" "$SHARDS" <<'PY'
+import json, sys
+
+stats = json.load(open(sys.argv[1]))
+shards = int(sys.argv[2])
+assert stats.get("shards") == shards, f"expected {shards} shards: {stats}"
+depths = stats.get("shard_queue_depths")
+assert isinstance(depths, list) and len(depths) == shards, \
+    f"bad shard_queue_depths: {stats}"
+assert stats.get("requests", 0) > 0, f"no requests recorded: {stats}"
+print(f"OK: {shards} shards, shard_queue_depths={depths}")
+PY
 
 echo "== checking health"
 "$CLI" health --port "$PORT" > "$WORK/health.json"

@@ -1,55 +1,75 @@
-// Minimal TCP front-end for the inference engine (DESIGN.md §9).
+// Event-driven TCP front-end for the inference engine (DESIGN.md §9, §13).
 //
 // Plain POSIX sockets, JSON-lines protocol (one JSON object per '\n'-framed
-// line, see wire.hpp), thread-per-connection. The accept loop multiplexes the
-// listening socket with a self-pipe via poll(), so shutdown() wakes it
-// immediately; the poll timeout doubles as the model hot-reload tick
-// (ModelRegistry::poll_reload).
+// line, see wire.hpp), multiplexed with poll() readiness loops: a small fixed
+// set of I/O threads (ServerOptions::io_threads) each owns a subset of the
+// client sockets, with per-connection read/write buffers — no
+// thread-per-connection. Loop 0 additionally polls the listening socket
+// (accepted connections are handed out round-robin) and runs the model
+// hot-reload tick (ModelRegistry::poll_reload) on its poll timeout. Every
+// loop has a self-pipe so engine completion threads and shutdown() can wake
+// it immediately.
+//
+// Request flow: a readable socket is drained into the connection's input
+// buffer and split into lines. Admin ops (ping/health/stats/shutdown) are
+// answered synchronously on the I/O thread. Predict lines become an ordered
+// response slot on the connection plus InferenceEngine::submit_async() — the
+// I/O thread never blocks on inference. When the engine completes a request
+// (on a shard batcher thread), the completion callback fills its slot and
+// flushes the connection's ready-slot prefix, so pipelined responses always
+// leave in request order even when shards finish out of order. A short write
+// (EAGAIN) parks the remainder in the connection's output buffer and
+// registers POLLOUT interest with the owning loop via its self-pipe.
 //
 // Graceful shutdown order:
-//   1. stop accepting (close listener),
-//   2. shutdown(SHUT_RD) every open connection — handlers finish the request
-//      they are on, then see EOF and exit,
-//   3. join handler threads,
+//   1. stop accepting (loop 0 drops the listener from its poll set),
+//   2. every connection is switched to drain mode — no more reads, but
+//      pending predict slots still complete and flush,
+//   3. each loop exits once its connections are fully flushed and closed,
 //   4. InferenceEngine::drain() so every accepted request is answered.
 // A client can trigger this remotely with {"op":"shutdown"}.
 //
 // Admin ops (DESIGN.md §10): {"op":"stats"} answers a live metrics snapshot
-// (queue depth, request/error counters, p50/p99 latency, uptime);
-// {"op":"stats","format":"prometheus"} carries the full registry as
+// (total + per-shard queue depth, request/error counters, p50/p99 latency,
+// uptime); {"op":"stats","format":"prometheus"} carries the full registry as
 // Prometheus text in the "prometheus" field; {"op":"health"} answers
-// readiness — ready ⇔ at least one model is loaded and the queue has spare
-// capacity. Every response echoes the client's request_id, or a
-// server-assigned "s-<n>" (predict ops defer to the engine's "r-<n>").
+// readiness — ready ⇔ at least one model is loaded and total queue depth is
+// below InferenceEngine::total_capacity(). Every response echoes the
+// client's request_id, or a server-assigned "s-<n>" (predict ops defer to
+// the engine's "r-<n>").
 //
 // Telemetry: counters serve.connections and serve.wire_errors (malformed
-// request lines), gauge serve.open_connections (RAII-maintained by the
-// connection handlers, so it counts live handler threads even when one
-// unwinds on an exception).
+// request lines), gauge serve.open_connections (RAII-maintained per
+// connection object, so it counts live sockets even on error unwinds).
 #pragma once
 
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
-#include <list>
 #include <memory>
 #include <mutex>
 #include <string>
-#include <thread>
+#include <vector>
 
 #include "ic/serve/engine.hpp"
 #include "ic/serve/model_registry.hpp"
 
 namespace ic::serve {
 
+struct WireRequest;
+
 struct ServerOptions {
   std::string host = "127.0.0.1";
   int port = 0;  ///< 0 = pick an ephemeral port (read back via port())
   int backlog = 64;
-  /// Accept-loop poll timeout; each expiry runs ModelRegistry::poll_reload().
-  /// <= 0 disables hot-reload polling (poll blocks until a connection).
+  /// Loop-0 poll timeout; each expiry runs ModelRegistry::poll_reload().
+  /// <= 0 disables hot-reload polling (poll blocks until an event).
   std::int64_t reload_poll_ms = 1000;
+  /// Readiness-loop threads multiplexing the client sockets. Clamped to
+  /// >= 1. Two is plenty until well past 10k connections — the loops only
+  /// shuffle bytes; inference runs on the engine shards.
+  std::size_t io_threads = 2;
 };
 
 class Server {
@@ -60,7 +80,7 @@ class Server {
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  /// Bind + listen + start the accept loop. Throws ic::input_error when the
+  /// Bind + listen + start the I/O loops. Throws ic::input_error when the
   /// address cannot be bound.
   void start();
 
@@ -72,9 +92,9 @@ class Server {
   /// Block until shutdown is requested (remotely or via shutdown()).
   void wait();
 
-  /// Flag the server to stop and wake the accept loop, without tearing
-  /// anything down yet — async-signal-safe (atomic store + pipe write), so a
-  /// SIGINT handler may call it; follow up with shutdown() from a normal
+  /// Flag the server to stop and wake every I/O loop, without tearing
+  /// anything down yet — async-signal-safe (atomic store + pipe writes), so
+  /// a SIGINT handler may call it; follow up with shutdown() from a normal
   /// thread.
   void request_shutdown();
 
@@ -83,16 +103,18 @@ class Server {
   void shutdown();
 
  private:
-  struct Connection {
-    int fd = -1;
-    std::thread thread;
-    std::atomic<bool> done{false};
-  };
+  struct Conn;    // per-connection state; defined in server.cpp
+  struct IoLoop;  // per-thread poll loop state; defined in server.cpp
 
-  void accept_loop();
-  void handle_connection(Connection* conn);
-  std::string handle_line(const std::string& line, bool* close_connection);
-  void reap_connections(bool join_all);
+  void io_loop(std::size_t index);
+  void accept_ready(IoLoop& loop);
+  void read_conn(const std::shared_ptr<Conn>& conn);
+  void process_line(const std::shared_ptr<Conn>& conn, const std::string& line);
+  std::string handle_admin(const WireRequest& req, bool* close_connection);
+  /// Append the ready prefix of the slot queue to the output buffer and send
+  /// as much as the socket accepts. Caller holds conn.mu.
+  void flush_locked(Conn& conn);
+  void wake_loop(std::size_t index);
   double uptime_seconds() const;
 
   InferenceEngine& engine_;
@@ -100,17 +122,16 @@ class Server {
   ServerOptions options_;
 
   int listen_fd_ = -1;
-  int wake_pipe_[2] = {-1, -1};
   int port_ = 0;
   std::chrono::steady_clock::time_point started_at_{};
   std::atomic<std::uint64_t> next_request_id_{0};
+  std::atomic<std::size_t> next_loop_{0};  // round-robin connection placement
   std::atomic<bool> running_{false};
   std::atomic<bool> stop_requested_{false};
-  std::thread accept_thread_;
 
   std::mutex mu_;
   std::condition_variable stop_cv_;
-  std::list<std::unique_ptr<Connection>> connections_;
+  std::vector<std::unique_ptr<IoLoop>> loops_;
 };
 
 }  // namespace ic::serve

@@ -14,6 +14,19 @@ namespace ic::serve {
 
 using Clock = std::chrono::steady_clock;
 
+namespace {
+
+// splitmix64 finalizer — a cheap full-avalanche mixer so that nearby gate
+// ids and fingerprints spread uniformly over shards.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
 const char* status_name(RequestStatus status) {
   switch (status) {
     case RequestStatus::Ok: return "ok";
@@ -27,6 +40,7 @@ const char* status_name(RequestStatus status) {
 
 InferenceEngine::InferenceEngine(ModelRegistry& registry, EngineOptions options)
     : registry_(registry), options_(options), features_(options.feature_cache_max) {
+  IC_CHECK(options_.shards >= 1, "EngineOptions::shards must be >= 1");
   IC_CHECK(options_.max_queue >= 1, "EngineOptions::max_queue must be >= 1");
   IC_CHECK(options_.max_batch >= 1, "EngineOptions::max_batch must be >= 1");
   slow_request_ms_ = options_.slow_request_ms;
@@ -49,15 +63,26 @@ InferenceEngine::InferenceEngine(ModelRegistry& registry, EngineOptions options)
       }
     }
   }
-  if (options_.jobs == 0) {
-    pool_ = &support::ThreadPool::global();
-  } else {
-    owned_pool_ = std::make_unique<support::ThreadPool>(
-        support::ThreadPool::effective_jobs(options_.jobs));
-    pool_ = owned_pool_.get();
+  auto& metrics = telemetry::MetricsRegistry::global();
+  shards_.reserve(options_.shards);
+  for (std::size_t k = 0; k < options_.shards; ++k) {
+    auto shard = std::make_unique<Shard>();
+    if (options_.jobs == 0) {
+      shard->pool = &support::ThreadPool::global();
+    } else {
+      shard->owned_pool = std::make_unique<support::ThreadPool>(
+          support::ThreadPool::effective_jobs(options_.jobs));
+      shard->pool = shard->owned_pool.get();
+    }
+    shard->replicas.resize(shard->pool->worker_count() + 1);
+    shard->depth_gauge =
+        &metrics.gauge("serve.shard" + std::to_string(k) + ".queue_depth");
+    shards_.push_back(std::move(shard));
   }
-  replicas_.resize(pool_->worker_count() + 1);
-  batcher_ = std::thread([this] { batcher_loop(); });
+  // Threads only start once every shard slot exists — batchers index shards_.
+  for (std::size_t k = 0; k < shards_.size(); ++k) {
+    shards_[k]->batcher = std::thread([this, k] { batcher_loop(k); });
+  }
 }
 
 InferenceEngine::~InferenceEngine() { stop(); }
@@ -68,44 +93,81 @@ void InferenceEngine::register_circuit(
   RegisteredCircuit entry;
   entry.fingerprint = netlist_fingerprint(*circuit);
   entry.netlist = std::move(circuit);
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(circuits_mu_);
   circuits_[name] = std::move(entry);
 }
 
-std::future<PredictResult> InferenceEngine::immediate(PredictResult result) {
-  std::promise<PredictResult> promise;
-  promise.set_value(std::move(result));
-  return promise.get_future();
+std::size_t InferenceEngine::shard_of(const PredictRequest& request) const {
+  if (shards_.size() == 1) return 0;
+  std::uint64_t fingerprint = 0;  // unknown circuits hash on the name's absence
+  {
+    std::lock_guard<std::mutex> lock(circuits_mu_);
+    const auto it = circuits_.find(request.circuit);
+    if (it != circuits_.end()) fingerprint = it->second.fingerprint;
+  }
+  // Fold the selection into the circuit fingerprint: identical
+  // (circuit, selection) queries stay shard-affine (their featurization is
+  // cached engine-wide anyway), while a policy search streaming many
+  // selections of ONE circuit fans out across every shard instead of
+  // pinning a single batcher.
+  std::uint64_t h = mix64(fingerprint);
+  for (const circuit::GateId id : request.selection) {
+    h = mix64(h ^ static_cast<std::uint64_t>(id));
+  }
+  return static_cast<std::size_t>(h % shards_.size());
+}
+
+void InferenceEngine::fulfill(Pending& pending, PredictResult result) {
+  if (pending.callback) {
+    pending.callback(std::move(result));
+  } else {
+    pending.promise.set_value(std::move(result));
+  }
+}
+
+void InferenceEngine::enqueue(std::unique_ptr<Pending> pending) {
+  auto& metrics = telemetry::MetricsRegistry::global();
+  const std::size_t index = shard_of(pending->request);
+  Shard& shard = *shards_[index];
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (shard.stopping) {
+      metrics.counter("serve.rejected").add(1);
+      PredictResult rejected;
+      rejected.status = RequestStatus::Rejected;
+      rejected.error = "engine is shutting down";
+      rejected.request_id = pending->request.request_id;
+      fulfill(*pending, std::move(rejected));
+      return;
+    }
+    if (shard.queue.size() >= options_.max_queue) {
+      metrics.counter("serve.rejected").add(1);
+      PredictResult rejected;
+      rejected.status = RequestStatus::Rejected;
+      rejected.error = "queue full (max_queue=" +
+                       std::to_string(options_.max_queue) + ")";
+      rejected.request_id = pending->request.request_id;
+      fulfill(*pending, std::move(rejected));
+      return;
+    }
+    shard.queue.push_back(std::move(pending));
+    metrics.counter("serve.requests").add(1);
+    const std::size_t total =
+        total_depth_.fetch_add(1, std::memory_order_relaxed) + 1;
+    metrics.gauge("serve.queue_depth").set(static_cast<double>(total));
+    shard.depth_gauge->set(static_cast<double>(shard.queue.size()));
+  }
+  shard.work_cv.notify_one();
 }
 
 std::future<PredictResult> InferenceEngine::submit(PredictRequest request) {
-  auto& registry = telemetry::MetricsRegistry::global();
   const auto now = Clock::now();
-  std::int64_t timeout_ms =
+  const std::int64_t timeout_ms =
       request.timeout_ms >= 0 ? request.timeout_ms : options_.default_timeout_ms;
   if (request.request_id.empty()) {
     request.request_id =
         "r-" + std::to_string(next_request_id_.fetch_add(1,
                                   std::memory_order_relaxed) + 1);
-  }
-
-  std::lock_guard<std::mutex> lock(mu_);
-  if (stopping_) {
-    registry.counter("serve.rejected").add(1);
-    PredictResult rejected;
-    rejected.status = RequestStatus::Rejected;
-    rejected.error = "engine is shutting down";
-    rejected.request_id = std::move(request.request_id);
-    return immediate(std::move(rejected));
-  }
-  if (queue_.size() >= options_.max_queue) {
-    registry.counter("serve.rejected").add(1);
-    PredictResult rejected;
-    rejected.status = RequestStatus::Rejected;
-    rejected.error = "queue full (max_queue=" +
-                     std::to_string(options_.max_queue) + ")";
-    rejected.request_id = std::move(request.request_id);
-    return immediate(std::move(rejected));
   }
   auto pending = std::make_unique<Pending>();
   pending->request = std::move(request);
@@ -114,18 +176,35 @@ std::future<PredictResult> InferenceEngine::submit(PredictRequest request) {
                           ? now + std::chrono::milliseconds(timeout_ms)
                           : Clock::time_point::max();
   auto future = pending->promise.get_future();
-  queue_.push_back(std::move(pending));
-  registry.counter("serve.requests").add(1);
-  registry.gauge("serve.queue_depth").set(static_cast<double>(queue_.size()));
-  work_cv_.notify_one();
+  enqueue(std::move(pending));
   return future;
+}
+
+void InferenceEngine::submit_async(PredictRequest request, Callback done) {
+  IC_CHECK(done != nullptr, "submit_async needs a completion callback");
+  const auto now = Clock::now();
+  const std::int64_t timeout_ms =
+      request.timeout_ms >= 0 ? request.timeout_ms : options_.default_timeout_ms;
+  if (request.request_id.empty()) {
+    request.request_id =
+        "r-" + std::to_string(next_request_id_.fetch_add(1,
+                                  std::memory_order_relaxed) + 1);
+  }
+  auto pending = std::make_unique<Pending>();
+  pending->request = std::move(request);
+  pending->callback = std::move(done);
+  pending->enqueued = now;
+  pending->deadline = timeout_ms >= 0
+                          ? now + std::chrono::milliseconds(timeout_ms)
+                          : Clock::time_point::max();
+  enqueue(std::move(pending));
 }
 
 PredictResult InferenceEngine::predict(PredictRequest request) {
   return submit(std::move(request)).get();
 }
 
-PredictResult InferenceEngine::process(const Pending& pending,
+PredictResult InferenceEngine::process(Shard& shard, const Pending& pending,
                                        std::size_t executor) {
   auto& metrics = telemetry::MetricsRegistry::global();
   const PredictRequest& request = pending.request;
@@ -135,7 +214,7 @@ PredictResult InferenceEngine::process(const Pending& pending,
   const double queue_wait =
       std::chrono::duration<double>(started - pending.enqueued).count();
   metrics.histogram("serve.queue_wait_seconds").observe(queue_wait);
-  PredictResult out = process_inner(pending, executor, started);
+  PredictResult out = process_inner(shard, pending, executor, started);
   out.request_id = request.request_id;
   const double compute =
       std::chrono::duration<double>(Clock::now() - started).count();
@@ -145,7 +224,7 @@ PredictResult InferenceEngine::process(const Pending& pending,
     metrics.counter("serve.slow_requests").add(1);
     std::uint64_t fingerprint = 0;  // 0 when the circuit lookup itself failed
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      std::lock_guard<std::mutex> lock(circuits_mu_);
       const auto it = circuits_.find(request.circuit);
       if (it != circuits_.end()) fingerprint = it->second.fingerprint;
     }
@@ -160,7 +239,8 @@ PredictResult InferenceEngine::process(const Pending& pending,
   return out;
 }
 
-PredictResult InferenceEngine::process_inner(const Pending& pending,
+PredictResult InferenceEngine::process_inner(Shard& shard,
+                                             const Pending& pending,
                                              std::size_t executor,
                                              Clock::time_point started) {
   auto& metrics = telemetry::MetricsRegistry::global();
@@ -182,7 +262,7 @@ PredictResult InferenceEngine::process_inner(const Pending& pending,
     }
     RegisteredCircuit circuit;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      std::lock_guard<std::mutex> lock(circuits_mu_);
       const auto it = circuits_.find(request.circuit);
       if (it == circuits_.end()) {
         metrics.counter("serve.errors").add(1);
@@ -207,8 +287,8 @@ PredictResult InferenceEngine::process_inner(const Pending& pending,
     const graph::Matrix x =
         FeatureCache::features_for(*features, request.selection);
 
-    IC_ASSERT(executor < replicas_.size());
-    Replica& replica = replicas_[executor][request.model];
+    IC_ASSERT(executor < shard.replicas.size());
+    Replica& replica = shard.replicas[executor][request.model];
     if (replica.model == nullptr || replica.version != snapshot->version) {
       replica.model = std::make_unique<nn::GnnRegressor>(snapshot->replica());
       replica.version = snapshot->version;
@@ -226,30 +306,38 @@ PredictResult InferenceEngine::process_inner(const Pending& pending,
   }
 }
 
-void InferenceEngine::batcher_loop() {
+void InferenceEngine::batcher_loop(std::size_t shard_index) {
+  Shard& shard = *shards_[shard_index];
   auto& metrics = telemetry::MetricsRegistry::global();
   auto& latency = metrics.histogram("serve.request_seconds");
-  // Heartbeat slot for the batcher: requests served + live queue depth. The
+  // Heartbeat slot per shard batcher: requests served + live queue depth. A
   // batcher idles legitimately between requests, so the stall watchdog is off.
-  telemetry::ProgressJob progress("serve.batcher");
+  const std::string progress_name =
+      shards_.size() == 1 ? std::string("serve.batcher")
+                          : "serve.batcher." + std::to_string(shard_index);
+  telemetry::ProgressJob progress(progress_name.c_str());
   progress.set_watchdog(false);
   std::uint64_t served = 0, batches = 0;
   for (;;) {
     std::vector<std::unique_ptr<Pending>> batch;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [this] {
-        return (!paused_ && !queue_.empty()) || (stopping_ && queue_.empty());
+      std::unique_lock<std::mutex> lock(shard.mu);
+      shard.work_cv.wait(lock, [&shard] {
+        return (!shard.paused && !shard.queue.empty()) ||
+               (shard.stopping && shard.queue.empty());
       });
-      if (stopping_ && queue_.empty()) return;
-      const std::size_t n = std::min(options_.max_batch, queue_.size());
+      if (shard.stopping && shard.queue.empty()) return;
+      const std::size_t n = std::min(options_.max_batch, shard.queue.size());
       batch.reserve(n);
       for (std::size_t i = 0; i < n; ++i) {
-        batch.push_back(std::move(queue_.front()));
-        queue_.pop_front();
+        batch.push_back(std::move(shard.queue.front()));
+        shard.queue.pop_front();
       }
-      in_flight_ = n;
-      metrics.gauge("serve.queue_depth").set(static_cast<double>(queue_.size()));
+      shard.in_flight = n;
+      const std::size_t total =
+          total_depth_.fetch_sub(n, std::memory_order_relaxed) - n;
+      metrics.gauge("serve.queue_depth").set(static_cast<double>(total));
+      shard.depth_gauge->set(static_cast<double>(shard.queue.size()));
     }
 
     {
@@ -258,58 +346,80 @@ void InferenceEngine::batcher_loop() {
       // Indexed result slots + per-executor replicas: the PR 2 determinism
       // contract. Each slot is written by exactly one task; fulfillment below
       // happens on this thread in index order.
-      pool_->parallel_for(0, batch.size(), [&](std::size_t i, std::size_t executor) {
-        results[i] = process(*batch[i], executor);
-      });
+      shard.pool->parallel_for(
+          0, batch.size(), [&](std::size_t i, std::size_t executor) {
+            results[i] = process(shard, *batch[i], executor);
+          });
       metrics.counter("serve.batches").add(1);
       const auto done = Clock::now();
       for (std::size_t i = 0; i < batch.size(); ++i) {
         latency.observe(
             std::chrono::duration<double>(done - batch[i]->enqueued).count());
-        batch[i]->promise.set_value(std::move(results[i]));
+        fulfill(*batch[i], std::move(results[i]));
       }
       served += batch.size();
       ++batches;
       progress.tick(served);
-      progress.set_counters("batches", batches, "queue_depth", queue_depth());
+      progress.set_counters("batches", batches, "queue_depth",
+                            queue_depth(shard_index));
     }
 
     {
-      std::lock_guard<std::mutex> lock(mu_);
-      in_flight_ = 0;
-      if (queue_.empty()) drained_cv_.notify_all();
+      std::lock_guard<std::mutex> lock(shard.mu);
+      shard.in_flight = 0;
+      if (shard.queue.empty()) shard.drained_cv.notify_all();
     }
   }
 }
 
 void InferenceEngine::drain() {
-  std::unique_lock<std::mutex> lock(mu_);
-  IC_CHECK(!paused_ || queue_.empty(),
-           "drain() would never finish while the engine is paused");
-  drained_cv_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+  for (auto& shard : shards_) {
+    std::unique_lock<std::mutex> lock(shard->mu);
+    IC_CHECK(!shard->paused || shard->queue.empty(),
+             "drain() would never finish while the engine is paused");
+    shard->drained_cv.wait(lock, [&shard] {
+      return shard->queue.empty() && shard->in_flight == 0;
+    });
+  }
 }
 
 void InferenceEngine::stop() {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    stopping_ = true;
-    paused_ = false;
+  for (auto& shard : shards_) {
+    {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      shard->stopping = true;
+      shard->paused = false;
+    }
+    shard->work_cv.notify_all();
   }
-  work_cv_.notify_all();
-  if (batcher_.joinable()) batcher_.join();
+  for (auto& shard : shards_) {
+    if (shard->batcher.joinable()) shard->batcher.join();
+  }
 }
 
 std::size_t InferenceEngine::queue_depth() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return queue_.size();
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->queue.size();
+  }
+  return total;
+}
+
+std::size_t InferenceEngine::queue_depth(std::size_t shard) const {
+  IC_ASSERT(shard < shards_.size());
+  std::lock_guard<std::mutex> lock(shards_[shard]->mu);
+  return shards_[shard]->queue.size();
 }
 
 void InferenceEngine::set_paused(bool paused) {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    paused_ = paused;
+  for (auto& shard : shards_) {
+    {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      shard->paused = paused;
+    }
+    shard->work_cv.notify_all();
   }
-  work_cv_.notify_all();
 }
 
 }  // namespace ic::serve

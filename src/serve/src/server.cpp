@@ -1,6 +1,7 @@
 #include "ic/serve/server.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
@@ -8,6 +9,7 @@
 
 #include <cerrno>
 #include <cstring>
+#include <deque>
 
 #include "ic/serve/wire.hpp"
 #include "ic/support/assert.hpp"
@@ -31,21 +33,57 @@ void close_fd(int* fd) {
   }
 }
 
-bool send_all(int fd, const std::string& data) {
-  std::size_t sent = 0;
-  while (sent < data.size()) {
-    const ssize_t n =
-        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    sent += static_cast<std::size_t>(n);
-  }
-  return true;
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  IC_CHECK(flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0,
+           "fcntl(O_NONBLOCK) failed: " << std::strerror(errno));
 }
 
+// One response in a connection's pipeline. Created in request order; `text`
+// is filled when the answer exists (instantly for admin ops, from the engine
+// completion callback for predicts). The flush only ever drains the ready
+// prefix, so responses leave in request order even when engine shards finish
+// out of order.
+struct ResponseSlot {
+  bool ready = false;
+  std::string text;  ///< one JSON object, no trailing newline
+};
+
 }  // namespace
+
+// Per-connection state. `fd` is opened by the accept path and closed only by
+// the owning I/O loop; `inbuf` is touched only by that loop. Everything
+// below `mu` is shared with engine completion threads (which append ready
+// slots and flush), so it is mutex-guarded — including fd for the duration
+// of a send. The GaugeGuard keeps serve.open_connections exact whatever path
+// destroys the connection.
+struct Server::Conn {
+  explicit Conn(telemetry::Gauge& open_gauge) : open_guard(open_gauge) {}
+
+  telemetry::GaugeGuard open_guard;
+  int fd = -1;
+  std::size_t loop = 0;  ///< owning I/O loop index
+  std::string inbuf;     ///< owner loop only
+
+  std::mutex mu;
+  std::deque<std::shared_ptr<ResponseSlot>> slots;  ///< pipeline, in order
+  std::string outbuf;  ///< bytes the socket did not accept yet
+  bool want_pollout = false;
+  bool eof = false;      ///< read side done; close once flushed
+  bool closing = false;  ///< stop reading; close once flushed
+};
+
+// One readiness loop. `incoming` is the handoff queue the accept path fills
+// (any thread, under mu); `conns` is owned by the loop thread alone. The
+// self-pipe wakes poll() for new connections, POLLOUT registration, newly
+// closable connections, and shutdown.
+struct Server::IoLoop {
+  std::thread thread;
+  int wake[2] = {-1, -1};
+  std::mutex mu;
+  std::vector<std::shared_ptr<Conn>> incoming;
+  std::vector<std::shared_ptr<Conn>> conns;
+};
 
 Server::Server(InferenceEngine& engine, ModelRegistry& registry,
                ServerOptions options)
@@ -75,6 +113,7 @@ void Server::start() {
   }
   IC_CHECK(::listen(listen_fd_, options_.backlog) == 0,
            "listen() failed: " << std::strerror(errno));
+  set_nonblocking(listen_fd_);
 
   sockaddr_in bound{};
   socklen_t bound_len = sizeof(bound);
@@ -84,13 +123,29 @@ void Server::start() {
       "getsockname() failed: " << std::strerror(errno));
   port_ = ntohs(bound.sin_port);
 
-  IC_CHECK(::pipe(wake_pipe_) == 0, "pipe() failed: " << std::strerror(errno));
+  const std::size_t io_threads =
+      options_.io_threads >= 1 ? options_.io_threads : 1;
+  loops_.clear();
+  for (std::size_t i = 0; i < io_threads; ++i) {
+    auto loop = std::make_unique<IoLoop>();
+    IC_CHECK(::pipe(loop->wake) == 0,
+             "pipe() failed: " << std::strerror(errno));
+    set_nonblocking(loop->wake[0]);
+    set_nonblocking(loop->wake[1]);
+    loops_.push_back(std::move(loop));
+  }
 
   stop_requested_.store(false);
   running_.store(true);
   started_at_ = std::chrono::steady_clock::now();
-  accept_thread_ = std::thread([this] { accept_loop(); });
-  ICLOG(info) << "serve: listening on " << options_.host << ":" << port_;
+  // Threads start after every loop slot exists — request_shutdown() and
+  // wake_loop() index loops_.
+  for (std::size_t i = 0; i < loops_.size(); ++i) {
+    loops_[i]->thread = std::thread([this, i] { io_loop(i); });
+  }
+  ICLOG(info) << "serve: listening on " << options_.host << ":" << port_
+              << telemetry::kv("io_threads", loops_.size())
+              << telemetry::kv("shards", engine_.shard_count());
 }
 
 void Server::request_shutdown() {
@@ -98,10 +153,17 @@ void Server::request_shutdown() {
   // SIGINT handler can call it. wait() polls, so no cv notify is needed here.
   bool expected = false;
   if (!stop_requested_.compare_exchange_strong(expected, true)) return;
-  if (wake_pipe_[1] >= 0) {
-    const char byte = 'x';
-    (void)!::write(wake_pipe_[1], &byte, 1);
+  for (const auto& loop : loops_) {
+    if (loop->wake[1] >= 0) {
+      const char byte = 'x';
+      (void)!::write(loop->wake[1], &byte, 1);
+    }
   }
+}
+
+void Server::wake_loop(std::size_t index) {
+  const char byte = 'x';
+  (void)!::write(loops_[index]->wake[1], &byte, 1);
 }
 
 void Server::wait() {
@@ -115,123 +177,320 @@ void Server::shutdown() {
   if (!running_.load()) return;
   request_shutdown();
   stop_cv_.notify_all();
-  if (accept_thread_.joinable()) accept_thread_.join();
-  close_fd(&listen_fd_);
-  // Half-close every open connection: handlers finish the request they are
-  // on, read EOF, and exit; their replies still flush on the write side.
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    for (auto& conn : connections_) {
-      if (conn->fd >= 0) ::shutdown(conn->fd, SHUT_RD);
-    }
+  // Each loop drains its connections (pending predict responses still flush)
+  // and exits once they are all closed.
+  for (auto& loop : loops_) {
+    if (loop->thread.joinable()) loop->thread.join();
   }
-  reap_connections(/*join_all=*/true);
+  close_fd(&listen_fd_);
+  for (auto& loop : loops_) {
+    close_fd(&loop->wake[0]);
+    close_fd(&loop->wake[1]);
+  }
   engine_.drain();
-  close_fd(&wake_pipe_[0]);
-  close_fd(&wake_pipe_[1]);
   running_.store(false);
   ICLOG(info) << "serve: shutdown complete";
 }
 
-void Server::reap_connections(bool join_all) {
-  std::list<std::unique_ptr<Connection>> finished;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    for (auto it = connections_.begin(); it != connections_.end();) {
-      if (join_all || (*it)->done.load()) {
-        finished.push_back(std::move(*it));
-        it = connections_.erase(it);
-      } else {
-        ++it;
+void Server::io_loop(std::size_t index) {
+  IoLoop& loop = *loops_[index];
+  bool draining = false;
+  std::vector<pollfd> fds;
+  std::vector<std::shared_ptr<Conn>> polled;  // fds[i + fixed] ↔ polled[i]
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(loop.mu);
+      for (auto& conn : loop.incoming) loop.conns.push_back(std::move(conn));
+      loop.incoming.clear();
+    }
+    if (stop_requested_ && !draining) {
+      draining = true;
+      // Switch every connection to drain mode: no more reads; pending
+      // responses still flush, then the reap below closes the socket.
+      for (const auto& conn : loop.conns) {
+        std::lock_guard<std::mutex> lock(conn->mu);
+        conn->eof = true;
+        if (conn->fd >= 0) ::shutdown(conn->fd, SHUT_RD);
+        flush_locked(*conn);
       }
     }
-  }
-  for (auto& conn : finished) {
-    if (conn->thread.joinable()) conn->thread.join();
-    close_fd(&conn->fd);
-  }
-}
+    // Reap: a connection whose read side is done and whose pipeline is fully
+    // flushed has nothing left to do.
+    for (auto it = loop.conns.begin(); it != loop.conns.end();) {
+      bool dead = false;
+      {
+        std::lock_guard<std::mutex> lock((*it)->mu);
+        Conn& conn = **it;
+        if (conn.fd >= 0 && (conn.eof || conn.closing) && conn.slots.empty() &&
+            conn.outbuf.empty()) {
+          close_fd(&conn.fd);
+        }
+        dead = conn.fd < 0;
+      }
+      it = dead ? loop.conns.erase(it) : ++it;
+    }
+    if (stop_requested_ && loop.conns.empty()) {
+      std::lock_guard<std::mutex> lock(loop.mu);
+      if (loop.incoming.empty()) break;
+      continue;  // a connection was handed over mid-shutdown; drain it too
+    }
 
-void Server::accept_loop() {
-  auto& metrics = telemetry::MetricsRegistry::global();
-  while (!stop_requested_.load()) {
-    pollfd fds[2];
-    fds[0] = {listen_fd_, POLLIN, 0};
-    fds[1] = {wake_pipe_[0], POLLIN, 0};
-    const int timeout_ms = options_.reload_poll_ms > 0
-                               ? static_cast<int>(options_.reload_poll_ms)
-                               : -1;
-    const int rc = ::poll(fds, 2, timeout_ms);
+    fds.clear();
+    polled.clear();
+    fds.push_back({loop.wake[0], POLLIN, 0});
+    const bool poll_listener = index == 0 && !stop_requested_;
+    if (poll_listener) fds.push_back({listen_fd_, POLLIN, 0});
+    for (const auto& conn : loop.conns) {
+      std::lock_guard<std::mutex> lock(conn->mu);
+      short events = 0;
+      if (!conn->eof && !conn->closing) events |= POLLIN;
+      if (conn->want_pollout) events |= POLLOUT;
+      if (conn->fd >= 0 && events != 0) {
+        fds.push_back({conn->fd, events, 0});
+        polled.push_back(conn);
+      }
+    }
+    // Loop 0's timeout is the hot-reload tick. While stopping, every loop
+    // polls with a short timeout as a safety net on top of the self-pipe
+    // wakeups from completion callbacks.
+    int timeout_ms = -1;
+    if (stop_requested_) {
+      timeout_ms = 100;
+    } else if (index == 0 && options_.reload_poll_ms > 0) {
+      timeout_ms = static_cast<int>(options_.reload_poll_ms);
+    }
+    const int rc = ::poll(fds.data(), fds.size(), timeout_ms);
     if (rc < 0) {
       if (errno == EINTR) continue;
       ICLOG(error) << "serve: poll() failed: " << std::strerror(errno);
       break;
     }
-    reap_connections(/*join_all=*/false);
     if (rc == 0) {
-      // Poll timeout: hot-reload tick.
-      registry_.poll_reload();
+      if (index == 0 && !stop_requested_) registry_.poll_reload();
       continue;
     }
-    if (fds[1].revents != 0) break;  // woken by request_stop()
-    if ((fds[0].revents & POLLIN) == 0) continue;
+    if (fds[0].revents != 0) {
+      char buf[64];
+      while (::read(loop.wake[0], buf, sizeof(buf)) > 0) {
+      }
+    }
+    if (poll_listener && (fds[1].revents & POLLIN) != 0) accept_ready(loop);
+    const std::size_t fixed = poll_listener ? 2 : 1;
+    for (std::size_t i = 0; i < polled.size(); ++i) {
+      const short revents = fds[i + fixed].revents;
+      if (revents == 0) continue;
+      if ((revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+        read_conn(polled[i]);
+      }
+      if ((revents & POLLOUT) != 0) {
+        std::lock_guard<std::mutex> lock(polled[i]->mu);
+        polled[i]->want_pollout = false;
+        flush_locked(*polled[i]);
+      }
+    }
+  }
+  // Poll-error / shutdown exit: drop whatever is left.
+  for (const auto& conn : loop.conns) {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    close_fd(&conn->fd);
+  }
+  loop.conns.clear();
+}
 
+void Server::accept_ready(IoLoop& loop) {
+  auto& metrics = telemetry::MetricsRegistry::global();
+  for (;;) {
     const int client_fd = ::accept(listen_fd_, nullptr, nullptr);
     if (client_fd < 0) {
       if (errno == EINTR || errno == ECONNABORTED) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
       ICLOG(error) << "serve: accept() failed: " << std::strerror(errno);
-      break;
+      return;
     }
+    set_nonblocking(client_fd);
     metrics.counter("serve.connections").add(1);
-    auto conn = std::make_unique<Connection>();
+    auto conn =
+        std::make_shared<Conn>(metrics.gauge("serve.open_connections"));
     conn->fd = client_fd;
-    Connection* raw = conn.get();
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      connections_.push_back(std::move(conn));
+    const std::size_t target_index =
+        next_loop_.fetch_add(1, std::memory_order_relaxed) % loops_.size();
+    conn->loop = target_index;
+    IoLoop& target = *loops_[target_index];
+    if (&target == &loop) {
+      // Loop 0 keeps its own share without a self-handoff round trip.
+      loop.conns.push_back(std::move(conn));
+    } else {
+      {
+        std::lock_guard<std::mutex> lock(target.mu);
+        target.incoming.push_back(std::move(conn));
+      }
+      wake_loop(target_index);
     }
-    raw->thread = std::thread([this, raw] { handle_connection(raw); });
   }
 }
 
-void Server::handle_connection(Connection* conn) {
-  // The guard keeps serve.open_connections exact even when the body below
-  // unwinds; the catch keeps an escaped exception from reaching the thread
-  // boundary (std::terminate).
-  telemetry::GaugeGuard open_guard(
-      telemetry::MetricsRegistry::global().gauge("serve.open_connections"));
-  try {
-    std::string buffer;
-    char chunk[4096];
-    bool close_connection = false;
-    while (!close_connection) {
-      const ssize_t n = ::recv(conn->fd, chunk, sizeof(chunk), 0);
-      if (n < 0 && errno == EINTR) continue;
-      if (n <= 0) break;  // EOF or error
-      buffer.append(chunk, static_cast<std::size_t>(n));
-      std::size_t start = 0;
-      for (;;) {
-        const std::size_t nl = buffer.find('\n', start);
-        if (nl == std::string::npos) break;
-        const std::string line = buffer.substr(start, nl - start);
-        start = nl + 1;
-        if (line.empty() ||
-            line.find_first_not_of(" \t\r") == std::string::npos) {
-          continue;
-        }
-        const std::string response = handle_line(line, &close_connection);
-        if (!send_all(conn->fd, response + "\n")) {
-          close_connection = true;
-        }
-        if (close_connection) break;
-      }
-      buffer.erase(0, start);
+void Server::read_conn(const std::shared_ptr<Conn>& conn) {
+  // fd is only closed by this (owning) loop thread, so the read side needs
+  // no lock; sends and slot bookkeeping do.
+  char chunk[4096];
+  bool saw_eof = false;
+  for (;;) {
+    const ssize_t n = ::recv(conn->fd, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      conn->inbuf.append(chunk, static_cast<std::size_t>(n));
+      continue;
     }
-  } catch (const std::exception& e) {
-    ICLOG(error) << "serve: connection handler failed"
-                 << telemetry::kv("error", e.what());
+    if (n == 0) {
+      saw_eof = true;
+      break;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    saw_eof = true;  // hard error: flush what we owe, then close
+    break;
   }
-  conn->done.store(true);
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t nl = conn->inbuf.find('\n', start);
+    if (nl == std::string::npos) break;
+    const std::string line = conn->inbuf.substr(start, nl - start);
+    start = nl + 1;
+    if (line.empty() || line.find_first_not_of(" \t\r") == std::string::npos) {
+      continue;
+    }
+    process_line(conn, line);
+    bool stop_reading = false;
+    {
+      std::lock_guard<std::mutex> lock(conn->mu);
+      stop_reading = conn->closing;
+    }
+    if (stop_reading) break;  // {"op":"shutdown"}: discard the rest
+  }
+  conn->inbuf.erase(0, start);
+  if (saw_eof) {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    conn->eof = true;
+    flush_locked(*conn);
+  }
+}
+
+void Server::process_line(const std::shared_ptr<Conn>& conn,
+                          const std::string& line) {
+  auto& metrics = telemetry::MetricsRegistry::global();
+  WireRequest req;
+  try {
+    req = parse_request(line);
+  } catch (const std::exception& e) {
+    metrics.counter("serve.wire_errors").add(1);
+    JsonValue resp = JsonValue::object();
+    resp.set("ok", JsonValue::boolean(false));
+    resp.set("status", JsonValue::string("error"));
+    resp.set("error", JsonValue::string(e.what()));
+    auto slot = std::make_shared<ResponseSlot>();
+    slot->ready = true;
+    slot->text = resp.dump();
+    std::lock_guard<std::mutex> lock(conn->mu);
+    conn->slots.push_back(std::move(slot));
+    flush_locked(*conn);
+    return;
+  }
+  if (req.op == "predict") {
+    // Reserve the connection's next pipeline position, then hand the request
+    // to the engine without blocking this I/O thread. The completion callback
+    // fills the slot (possibly out of order across shards) and the
+    // ready-prefix flush restores wire order. submit_async is called OUTSIDE
+    // conn->mu: a rejected request invokes the callback inline on this
+    // thread, and the callback takes the lock.
+    auto slot = std::make_shared<ResponseSlot>();
+    {
+      std::lock_guard<std::mutex> lock(conn->mu);
+      conn->slots.push_back(slot);
+    }
+    PredictRequest predict;
+    predict.model = req.model;
+    predict.circuit = req.circuit;
+    predict.selection = req.select;
+    predict.timeout_ms = req.timeout_ms;
+    predict.request_id = req.request_id;  // may be empty: engine assigns r-<n>
+    const bool has_id = req.has_id;
+    const std::uint64_t id = req.id;
+    std::shared_ptr<Conn> c = conn;
+    engine_.submit_async(
+        std::move(predict),
+        [this, c, slot, has_id, id](PredictResult result) {
+          JsonValue resp = JsonValue::object();
+          if (has_id) {
+            resp.set("id", JsonValue::number(static_cast<double>(id)));
+          }
+          resp.set("op", JsonValue::string("predict"));
+          resp.set("ok", JsonValue::boolean(result.ok()));
+          resp.set("status", JsonValue::string(status_name(result.status)));
+          if (result.ok()) {
+            resp.set("log_runtime", JsonValue::number(result.log_runtime));
+            resp.set("seconds", JsonValue::number(result.seconds));
+            resp.set("model_version", JsonValue::number(static_cast<double>(
+                                          result.model_version)));
+          } else {
+            resp.set("error", JsonValue::string(result.error));
+          }
+          resp.set("request_id", JsonValue::string(result.request_id));
+          std::lock_guard<std::mutex> lock(c->mu);
+          slot->text = resp.dump();
+          slot->ready = true;
+          flush_locked(*c);
+        });
+    return;
+  }
+  bool close_connection = false;
+  std::string text = handle_admin(req, &close_connection);
+  auto slot = std::make_shared<ResponseSlot>();
+  slot->ready = true;
+  slot->text = std::move(text);
+  std::lock_guard<std::mutex> lock(conn->mu);
+  conn->slots.push_back(std::move(slot));
+  if (close_connection) conn->closing = true;
+  flush_locked(*conn);
+}
+
+void Server::flush_locked(Conn& conn) {
+  while (!conn.slots.empty() && conn.slots.front()->ready) {
+    conn.outbuf += conn.slots.front()->text;
+    conn.outbuf += '\n';
+    conn.slots.pop_front();
+  }
+  if (conn.fd < 0) {
+    conn.outbuf.clear();
+    return;
+  }
+  std::size_t sent = 0;
+  while (sent < conn.outbuf.size()) {
+    const ssize_t n = ::send(conn.fd, conn.outbuf.data() + sent,
+                             conn.outbuf.size() - sent, MSG_NOSIGNAL);
+    if (n >= 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    // Peer is gone; nothing further can be delivered. Pending engine work
+    // still completes (its callbacks find the slot detached and the fd
+    // closed) — we just stop owing this socket anything.
+    conn.closing = true;
+    conn.outbuf.clear();
+    conn.slots.clear();
+    wake_loop(conn.loop);
+    return;
+  }
+  conn.outbuf.erase(0, sent);
+  if (!conn.outbuf.empty()) {
+    // Short write: park the rest and have the owning loop watch POLLOUT.
+    if (!conn.want_pollout) {
+      conn.want_pollout = true;
+      wake_loop(conn.loop);
+    }
+  } else if ((conn.eof || conn.closing) && conn.slots.empty()) {
+    wake_loop(conn.loop);  // fully drained: the owning loop can close it
+  }
 }
 
 double Server::uptime_seconds() const {
@@ -240,20 +499,18 @@ double Server::uptime_seconds() const {
       .count();
 }
 
-std::string Server::handle_line(const std::string& line,
-                                bool* close_connection) {
+std::string Server::handle_admin(const WireRequest& req,
+                                 bool* close_connection) {
   JsonValue resp = JsonValue::object();
   try {
-    const WireRequest req = parse_request(line);
     if (req.has_id) {
       resp.set("id", JsonValue::number(static_cast<double>(req.id)));
     }
     resp.set("op", JsonValue::string(req.op));
-    // Every response carries a request_id. Predict defers to the engine
-    // (whose "r-<n>" id also names the trace span and slow-request log);
-    // every other op gets the client's id or a server-assigned "s-<n>".
+    // Every response carries a request_id: the client's, or a
+    // server-assigned "s-<n>" (predicts defer to the engine's "r-<n>").
     std::string request_id = req.request_id;
-    if (request_id.empty() && req.op != "predict") {
+    if (request_id.empty()) {
       request_id =
           "s-" + std::to_string(next_request_id_.fetch_add(
                      1, std::memory_order_relaxed) + 1);
@@ -264,7 +521,7 @@ std::string Server::handle_line(const std::string& line,
       auto& metrics = telemetry::MetricsRegistry::global();
       const telemetry::ProcessStats proc = telemetry::sample_process_stats();
       const std::size_t depth = engine_.queue_depth();
-      const std::size_t capacity = engine_.max_queue();
+      const std::size_t capacity = engine_.total_capacity();
       const bool ready = registry_.size() > 0 && depth < capacity;
       resp.set("ok", JsonValue::boolean(true));
       resp.set("ready", JsonValue::boolean(ready));
@@ -275,7 +532,11 @@ std::string Server::handle_line(const std::string& line,
       }
       resp.set("models", std::move(models));
       resp.set("queue_depth", JsonValue::number(static_cast<double>(depth)));
-      resp.set("max_queue", JsonValue::number(static_cast<double>(capacity)));
+      resp.set("max_queue",
+               JsonValue::number(static_cast<double>(engine_.max_queue())));
+      resp.set("shards",
+               JsonValue::number(static_cast<double>(engine_.shard_count())));
+      resp.set("capacity", JsonValue::number(static_cast<double>(capacity)));
       resp.set("uptime_seconds", JsonValue::number(uptime_seconds()));
       resp.set("version", JsonValue::string(ICNET_VERSION));
       resp.set("open_connections",
@@ -295,6 +556,14 @@ std::string Server::handle_line(const std::string& line,
       } else {
         resp.set("queue_depth",
                  JsonValue::number(static_cast<double>(engine_.queue_depth())));
+        resp.set("shards", JsonValue::number(
+                               static_cast<double>(engine_.shard_count())));
+        JsonValue shard_depths = JsonValue::array();
+        for (std::size_t k = 0; k < engine_.shard_count(); ++k) {
+          shard_depths.push_back(JsonValue::number(
+              static_cast<double>(engine_.queue_depth(k))));
+        }
+        resp.set("shard_queue_depths", std::move(shard_depths));
         JsonValue models = JsonValue::array();
         for (const auto& name : registry_.names()) {
           models.push_back(JsonValue::string(name));
@@ -347,25 +616,9 @@ std::string Server::handle_line(const std::string& line,
       *close_connection = true;
       request_shutdown();
       stop_cv_.notify_all();
-    } else {  // predict — parse_request only admits the known ops
-      PredictRequest predict;
-      predict.model = req.model;
-      predict.circuit = req.circuit;
-      predict.selection = req.select;
-      predict.timeout_ms = req.timeout_ms;
-      predict.request_id = request_id;  // may be empty: engine assigns
-      const PredictResult result = engine_.predict(std::move(predict));
-      request_id = result.request_id;
-      resp.set("ok", JsonValue::boolean(result.ok()));
-      resp.set("status", JsonValue::string(status_name(result.status)));
-      if (result.ok()) {
-        resp.set("log_runtime", JsonValue::number(result.log_runtime));
-        resp.set("seconds", JsonValue::number(result.seconds));
-        resp.set("model_version", JsonValue::number(static_cast<double>(
-                                      result.model_version)));
-      } else {
-        resp.set("error", JsonValue::string(result.error));
-      }
+    } else {
+      // parse_request only admits known ops; predict never reaches here.
+      IC_ASSERT_MSG(false, "unhandled admin op");
     }
     resp.set("request_id", JsonValue::string(request_id));
   } catch (const std::exception& e) {

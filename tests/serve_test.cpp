@@ -666,6 +666,188 @@ TEST_F(ServeTest, StatsAndHealthCarryProcessStats) {
 }
 #endif
 
+// ---- Sharded engine --------------------------------------------------------
+
+TEST_F(ServeTest, SubmitAsyncCompletesViaCallback) {
+  ModelRegistry registry;
+  registry.load("default", model_path_);
+  EngineOptions options;
+  options.jobs = 1;
+  options.shards = 2;
+  InferenceEngine engine(registry, options);
+  engine.register_circuit("default", circuit_);
+
+  std::promise<PredictResult> done;
+  engine.submit_async(request_for({1, 2}), [&done](PredictResult result) {
+    done.set_value(std::move(result));
+  });
+  const auto result = done.get_future().get();
+  EXPECT_EQ(result.status, RequestStatus::Ok) << result.error;
+  EXPECT_GT(result.seconds, 0.0);
+
+  // After stop() the rejection callback fires inline on the submitting
+  // thread — the event loop depends on the callback always firing.
+  engine.stop();
+  bool rejected_inline = false;
+  engine.submit_async(request_for({1, 2}), [&](PredictResult result) {
+    rejected_inline = result.status == RequestStatus::Rejected;
+  });
+  EXPECT_TRUE(rejected_inline);
+}
+
+TEST_F(ServeTest, ShardTargetedBackpressure) {
+  // One saturated shard must reject while the others keep admitting.
+  ModelRegistry registry;
+  registry.load("default", model_path_);
+  EngineOptions options;
+  options.shards = 4;
+  options.max_queue = 2;  // per-shard bound
+  options.jobs = 1;
+  InferenceEngine engine(registry, options);
+  engine.register_circuit("default", circuit_);
+  ASSERT_EQ(engine.shard_count(), 4u);
+  ASSERT_EQ(engine.total_capacity(), 8u);
+
+  // The router is a pure function of (circuit fingerprint, selection), so a
+  // fixed selection always lands on the same shard.
+  const std::vector<GateId> hot = {1, 2};
+  const std::size_t hot_shard = engine.shard_of(request_for(hot));
+  ASSERT_EQ(hot_shard, engine.shard_of(request_for(hot)));
+
+  // Find a selection the router sends elsewhere (tiny search space — with 4
+  // shards most candidates qualify immediately).
+  std::vector<GateId> cold;
+  for (GateId g = 3; g < 40; ++g) {
+    if (engine.shard_of(request_for({g})) != hot_shard) {
+      cold = {g};
+      break;
+    }
+  }
+  ASSERT_FALSE(cold.empty()) << "no selection routed off the hot shard";
+
+  engine.set_paused(true);  // queues fill deterministically
+  std::vector<std::future<PredictResult>> accepted;
+  for (int i = 0; i < 2; ++i) {
+    accepted.push_back(engine.submit(request_for(hot)));
+  }
+  EXPECT_EQ(engine.queue_depth(hot_shard), 2u);
+
+  auto overflow = engine.submit(request_for(hot));
+  ASSERT_EQ(overflow.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready)
+      << "the saturated shard must answer immediately";
+  const auto rejected = overflow.get();
+  EXPECT_EQ(rejected.status, RequestStatus::Rejected);
+  EXPECT_NE(rejected.error.find("queue full"), std::string::npos);
+
+  // Other shards still admit: the cold request queues instead of rejecting.
+  auto admitted = engine.submit(request_for(cold));
+  EXPECT_NE(admitted.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready)
+      << "a different shard should have accepted this request";
+  EXPECT_EQ(engine.queue_depth(), 3u);
+
+  engine.set_paused(false);
+  for (auto& f : accepted) {
+    EXPECT_EQ(f.get().status, RequestStatus::Ok);
+  }
+  EXPECT_EQ(admitted.get().status, RequestStatus::Ok);
+}
+
+TEST_F(ServeTest, CrossShardResponsesAreByteIdentical) {
+  // The same pipelined request stream must produce byte-identical response
+  // bytes at shards=1 and shards=4 — routing decides WHERE a request
+  // computes, never WHAT it answers (DESIGN.md §13). request_ids are
+  // client-supplied so the engine's r-<n> counter cannot differ between
+  // configurations.
+  constexpr int kRequests = 32;
+  std::string stream;
+  std::mt19937_64 rng(29);
+  for (int i = 0; i < kRequests; ++i) {
+    WireRequest request;
+    request.id = static_cast<std::uint64_t>(i);
+    request.has_id = true;
+    request.request_id = "q-" + std::to_string(i);
+    const std::size_t count = 1 + i % 5;
+    for (std::size_t g = 0; g < count; ++g) {
+      request.select.push_back(
+          static_cast<std::uint32_t>(rng() % circuit_->size()));
+    }
+    stream += encode_request(request);
+    stream += '\n';
+  }
+
+  const auto serve_stream = [&](std::size_t shards) {
+    ModelRegistry registry;
+    registry.load("default", model_path_);
+    EngineOptions engine_options;
+    engine_options.shards = shards;
+    engine_options.jobs = 2;
+    engine_options.max_batch = 8;
+    InferenceEngine engine(registry, engine_options);
+    engine.register_circuit("default", circuit_);
+    ServerOptions server_options;
+    server_options.io_threads = 2;
+    Server server(engine, registry, server_options);
+    server.start();
+
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(server.port()));
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+              0);
+    std::size_t sent = 0;
+    while (sent < stream.size()) {
+      const ssize_t n =
+          ::send(fd, stream.data() + sent, stream.size() - sent, 0);
+      if (n <= 0) {
+        ADD_FAILURE() << "send failed";
+        break;
+      }
+      sent += static_cast<std::size_t>(n);
+    }
+    std::string bytes;
+    int newlines = 0;
+    char chunk[4096];
+    while (newlines < kRequests) {
+      const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+      if (n <= 0) {
+        ADD_FAILURE() << "connection closed before all responses arrived";
+        break;
+      }
+      for (ssize_t j = 0; j < n; ++j) {
+        if (chunk[j] == '\n') ++newlines;
+      }
+      bytes.append(chunk, static_cast<std::size_t>(n));
+    }
+    ::close(fd);
+    server.shutdown();
+    engine.stop();
+    return bytes;
+  };
+
+  std::string serial;
+  serve_stream(1).swap(serial);
+  std::string sharded;
+  serve_stream(4).swap(sharded);
+  ASSERT_FALSE(serial.empty());
+  EXPECT_EQ(serial, sharded)
+      << "sharded responses diverged from the serial path";
+  // Responses come back in request order: the i-th line echoes q-<i>.
+  std::size_t pos = 0;
+  for (int i = 0; i < kRequests; ++i) {
+    const std::size_t nl = serial.find('\n', pos);
+    ASSERT_NE(nl, std::string::npos);
+    const std::string line = serial.substr(pos, nl - pos);
+    EXPECT_NE(line.find("\"q-" + std::to_string(i) + "\""), std::string::npos)
+        << "response " << i << " out of order: " << line;
+    pos = nl + 1;
+  }
+}
+
 TEST(ClientTimeout, RefusedConnectionRaisesConnectionError) {
   // Bind-then-close: the port was just free, so connecting is refused fast.
   int fd = ::socket(AF_INET, SOCK_STREAM, 0);

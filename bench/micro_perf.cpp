@@ -11,8 +11,13 @@
 #include "ic/data/dataset.hpp"
 #include "ic/locking/lut_lock.hpp"
 #include "ic/locking/policy.hpp"
+#include "ic/core/estimator.hpp"
 #include "ic/nn/regressor.hpp"
+#include "ic/search/search.hpp"
+#include "ic/serve/serve.hpp"
 #include "ic/support/rng.hpp"
+
+#include <filesystem>
 
 namespace {
 
@@ -159,6 +164,63 @@ void BM_ICNetForward(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_ICNetForward)->Arg(256)->Arg(1529)->Arg(4096);
+
+void BM_PolicySearchStep(benchmark::State& state) {
+  // One greedy policy-search step (DESIGN.md §14): generate an 8-candidate
+  // neighborhood and score it through the serving engine in a single
+  // predict_batch() — the inner loop of `icnet_cli search`.
+  static const auto circuit =
+      std::make_shared<const ic::circuit::Netlist>(bench_circuit(256));
+  static const std::string model_path = [] {
+    const std::string path = (std::filesystem::temp_directory_path() /
+                              "icnet_bench_search_model.txt")
+                                 .string();
+    ic::data::Dataset ds;
+    ds.circuit = circuit;
+    ic::Rng rng(11);
+    for (std::size_t i = 0; i < 10; ++i) {
+      ic::data::Instance inst;
+      for (std::size_t g = 0; g < 1 + i % 4; ++g) {
+        inst.selection.push_back(
+            static_cast<ic::circuit::GateId>(rng.index(circuit->size())));
+      }
+      inst.runtime_seconds = 0.0005 * static_cast<double>(i + 1);
+      ds.instances.push_back(inst);
+    }
+    ic::core::EstimatorOptions options;
+    options.hidden = {6, 4};
+    options.train.max_epochs = 5;
+    ic::core::RuntimeEstimator estimator(options);
+    estimator.fit(ds);
+    estimator.save(path);
+    return path;
+  }();
+
+  ic::serve::ModelRegistry registry;
+  registry.load("default", model_path);
+  ic::serve::InferenceEngine engine(registry);
+  engine.register_circuit("default", circuit);
+  ic::search::EngineOracle oracle(engine);
+
+  ic::search::SearchOptions options;
+  options.budget = 8;
+  options.scheme = ic::search::LockScheme::Xor;
+  options.greedy_steps = 1;
+  options.sa_steps = 0;
+  options.neighbors = 8;
+  options.top_k = 0;  // verification attacks are a different workload
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    options.seed = seed++;
+    benchmark::DoNotOptimize(
+        ic::search::policy_search(*circuit, oracle, options));
+  }
+  // Candidates scored per step (the neighborhood), ignoring the one-off
+  // initial-selection batch.
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(options.neighbors));
+}
+BENCHMARK(BM_PolicySearchStep);
 
 }  // namespace
 

@@ -13,6 +13,18 @@
 //   icnet_cli predict <circuit.bench> <in.model> --select "12,57,101"
 //                     [--select-file F]   one "id,id,..." selection per line,
 //                                         one prediction per output line
+//   icnet_cli search  <circuit.bench> <model>           in-process, or
+//   icnet_cli search  --port P [--host H] [--model M] [--circuit C]
+//                     run the search on a serve instance over the wire
+//                     ({"op":"search"}, DESIGN.md §14). Common flags:
+//                     [--budget N] [--scheme lut4|xor|antisat]
+//                     [--greedy-steps N] [--sa-steps N] [--neighbors N]
+//                     [--top-k K] [--seed S] [--area-weight W]
+//                     [--depth-weight W] [--sa-temp T] [--sa-cooling C]
+//                     [--verify-max-conflicts N] [--out report.json]
+//                     in-process only: [--shards N] [--batch B]
+//                     Same seed+flags ⇒ byte-identical report, local or
+//                     remote, at any --jobs/--shards.
 //   icnet_cli serve   <circuit.bench> <model> --port P [--host H]
 //                     [--shards N] [--io-threads N] [--max-queue N]
 //                     [--batch B] [--timeout-ms T] [--reload-ms R]
@@ -79,6 +91,9 @@
 #include "ic/locking/lut_lock.hpp"
 #include "ic/locking/policy.hpp"
 #include "ic/locking/xor_lock.hpp"
+#include "ic/search/report.hpp"
+#include "ic/search/selection.hpp"
+#include "ic/search/service.hpp"
 #include "ic/serve/serve.hpp"
 #include "ic/support/strings.hpp"
 #include "ic/support/telemetry.hpp"
@@ -270,23 +285,11 @@ int cmd_train(const Args& a) {
   return 0;
 }
 
-std::vector<ic::circuit::GateId> parse_selection(const std::string& text) {
-  std::vector<ic::circuit::GateId> selection;
-  for (const auto& tok : ic::split(text, ", ")) {
-    selection.push_back(static_cast<ic::circuit::GateId>(std::stoul(tok)));
-  }
-  return selection;
-}
-
-/// Bad gate ids are a user mistake, not a contract violation: reject them
-/// here with the same wording the serving engine uses.
-void check_selection(const std::vector<ic::circuit::GateId>& selection,
-                     const ic::circuit::Netlist& circuit) {
-  for (const auto id : selection) {
-    IC_CHECK(id < circuit.size(), "gate id " << id << " out of range (circuit has "
-                                             << circuit.size() << " gates)");
-  }
-}
+// Selection parsing/validation is shared with the policy searcher
+// (ic/search/selection.hpp) so the CLI, the search code, and the serving
+// engine reject bad gate ids with the same wording.
+using ic::search::check_selection;
+using ic::search::parse_selection;
 
 /// v2 model files rebuild the estimator from their header; v1 files can only
 /// be read into the historical default architecture.
@@ -317,10 +320,16 @@ int cmd_predict(const Args& a) {
     while (std::getline(in, line)) {
       ++line_no;
       if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
-      const auto selection = parse_selection(line);
-      IC_CHECK(!selection.empty(),
-               "selection file line " << line_no << " has no gate ids");
-      check_selection(selection, circuit);
+      const std::string context =
+          "selection file line " + std::to_string(line_no);
+      std::vector<ic::circuit::GateId> selection;
+      try {
+        selection = parse_selection(line);
+      } catch (const std::exception& e) {
+        ic::input_error(context + ": " + e.what());
+      }
+      IC_CHECK(!selection.empty(), context << " has no gate ids");
+      check_selection(selection, circuit, context);
       std::printf("%.6f\n", estimator.predict_seconds(selection));
     }
     return 0;
@@ -332,6 +341,122 @@ int cmd_predict(const Args& a) {
   std::printf("predicted de-obfuscation runtime: %.6f s (log-label %.4f)\n",
               estimator.predict_seconds(selection),
               estimator.predict_log_runtime(selection));
+  return 0;
+}
+
+ic::serve::WireSearchParams search_params_from_args(const Args& a) {
+  ic::serve::WireSearchParams p;
+  p.budget = std::stoull(opt(a, "budget", "8"));
+  p.scheme = opt(a, "scheme", "lut4");
+  p.greedy_steps = std::stoull(opt(a, "greedy-steps", "16"));
+  p.sa_steps = std::stoull(opt(a, "sa-steps", "16"));
+  p.neighbors = std::stoull(opt(a, "neighbors", "8"));
+  p.top_k = std::stoull(opt(a, "top-k", "3"));
+  p.seed = std::stoull(opt(a, "seed", "1"));
+  p.area_weight = std::stod(opt(a, "area-weight", "0"));
+  p.depth_weight = std::stod(opt(a, "depth-weight", "0"));
+  p.sa_initial_temp = std::stod(opt(a, "sa-temp", "1.0"));
+  p.sa_cooling = std::stod(opt(a, "sa-cooling", "0.9"));
+  p.verify_max_conflicts =
+      std::stoull(opt(a, "verify-max-conflicts", "200000"));
+  return p;
+}
+
+void save_report(const ic::serve::JsonValue& doc, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  IC_CHECK(out.good(), "cannot open '" << path << "' for writing");
+  out << doc.dump() << '\n';
+  IC_CHECK(out.good(), "write to '" << path << "' failed");
+}
+
+void print_search_summary(const ic::serve::JsonValue& doc) {
+  const auto num = [&doc](const char* key) {
+    const auto* v = doc.find(key);
+    return v == nullptr ? 0.0 : v->as_number();
+  };
+  std::printf("best objective %.4f (predicted %.6f s)\n",
+              num("best_objective"), num("best_predicted_seconds"));
+  if (const auto* sel = doc.find("best_selection")) {
+    std::printf("best selection:");
+    for (const auto& id : sel->items()) {
+      std::printf(" %.0f", id.as_number());
+    }
+    std::printf("\n");
+  }
+  std::printf("oracle: %.0f predictions in %.0f batches, %.0f/%.0f steps "
+              "accepted\n",
+              num("oracle_calls"), num("oracle_batches"),
+              num("accepted_steps"),
+              doc.find("steps") ? static_cast<double>(
+                                      doc.find("steps")->items().size())
+                                : 0.0);
+  if (const auto* verified = doc.find("verified")) {
+    std::size_t rank = 0;
+    for (const auto& v : verified->items()) {
+      const auto field = [&v](const char* key) {
+        const auto* f = v.find(key);
+        return f == nullptr ? 0.0 : f->as_number();
+      };
+      const auto* cap = v.find("attack_hit_cap");
+      std::printf("verified #%zu: predicted %.6f s, actual %.6f s "
+                  "(%.0f DIPs, %.0f key bits%s)\n",
+                  ++rank, field("predicted_seconds"), field("actual_seconds"),
+                  field("attack_dips"), field("key_bits"),
+                  (cap != nullptr && cap->as_bool()) ? ", cap hit" : "");
+    }
+  }
+}
+
+int cmd_search(const Args& a) {
+  const std::string port = opt(a, "port", "");
+  const ic::serve::WireSearchParams params = search_params_from_args(a);
+  const std::string out_path = opt(a, "out", "");
+
+  ic::serve::JsonValue report_doc;
+  if (!port.empty()) {
+    IC_CHECK(a.positional.empty(),
+             "search --port takes no positional arguments");
+    // Searches legitimately run for minutes; leave the IO unbounded like a
+    // slow predict and rely on connect_timeout_ms for reachability.
+    ic::serve::Client client(opt(a, "host", "127.0.0.1"), std::stoi(port));
+    ic::serve::WireRequest request;
+    request.op = "search";
+    request.model = opt(a, "model", "default");
+    request.circuit = opt(a, "circuit", "default");
+    request.request_id = opt(a, "request-id", "");
+    request.search = params;
+    const auto response = client.call(request);
+    if (!response.ok) {
+      std::fprintf(stderr, "error: %s (%s)\n", response.error.c_str(),
+                   response.status.c_str());
+      return 1;
+    }
+    const auto* report = response.raw.find("report");
+    IC_CHECK(report != nullptr, "search response carries no report");
+    report_doc = *report;
+  } else {
+    IC_CHECK(a.positional.size() == 2,
+             "search needs <circuit.bench> <model>, or --port P");
+    const auto circuit = std::make_shared<const ic::circuit::Netlist>(
+        ic::circuit::read_bench_file(a.positional[0]));
+    ic::serve::ModelRegistry registry;
+    registry.load("default", a.positional[1]);
+    ic::serve::EngineOptions engine_options;
+    engine_options.shards = std::stoul(opt(a, "shards", "1"));
+    engine_options.max_batch = std::stoul(opt(a, "batch", "32"));
+    ic::serve::InferenceEngine engine(registry, engine_options);
+    engine.register_circuit("default", circuit);
+    ic::search::SearchService service(engine);
+    service.register_circuit("default", circuit);
+    ic::serve::WireRequest request;
+    request.op = "search";
+    request.search = params;
+    const auto report = service.run(request);
+    engine.stop();
+    report_doc = ic::search::report_to_json(report);
+  }
+  if (!out_path.empty()) save_report(report_doc, out_path);
+  print_search_summary(report_doc);
   return 0;
 }
 
@@ -356,12 +481,18 @@ int cmd_serve(const Args& a) {
   ic::serve::InferenceEngine engine(registry, engine_options);
   engine.register_circuit("default", circuit);
 
+  // {"op":"search"} support: the service scores candidates through the same
+  // engine the predict path uses (shared shard batchers and feature cache).
+  ic::search::SearchService search_service(engine);
+  search_service.register_circuit("default", circuit);
+
   ic::serve::ServerOptions server_options;
   server_options.host = opt(a, "host", "127.0.0.1");
   server_options.port = std::stoi(opt(a, "port", "0"));
   server_options.reload_poll_ms = std::stoll(opt(a, "reload-ms", "1000"));
   server_options.io_threads = std::stoul(opt(a, "io-threads", "2"));
   ic::serve::Server server(engine, registry, server_options);
+  search_service.install(server);
   server.start();
   std::printf("serving %s with model %s on %s:%d\n", a.positional[0].c_str(),
               a.positional[1].c_str(), server_options.host.c_str(),
@@ -376,8 +507,9 @@ int cmd_serve(const Args& a) {
     if (g_server != nullptr) g_server->request_shutdown();
   });
   server.wait();
-  server.shutdown();
+  server.shutdown();  // in-flight searches flush their slots during drain
   g_server = nullptr;
+  search_service.stop();
   engine.stop();
   std::printf("served %llu requests (%llu rejected)\n",
               static_cast<unsigned long long>(
@@ -489,8 +621,8 @@ int cmd_health(const Args& a) {
 
 void usage() {
   std::fprintf(stderr,
-               "usage: icnet_cli <lock|attack|dataset|train|predict|serve|query|"
-               "stats|health|gen> ...\n"
+               "usage: icnet_cli <lock|attack|dataset|train|predict|search|"
+               "serve|query|stats|health|gen> ...\n"
                "       [--jobs N] [--log-level L] [--trace-out F] [--metrics-out F]\n"
                "       [--metrics-interval MS] [--progress-interval S]\n"
                "       [--flight-dump F|none]\n"
@@ -503,6 +635,7 @@ int dispatch(const std::string& cmd, const Args& args) {
   if (cmd == "dataset") return cmd_dataset(args);
   if (cmd == "train") return cmd_train(args);
   if (cmd == "predict") return cmd_predict(args);
+  if (cmd == "search") return cmd_search(args);
   if (cmd == "serve") return cmd_serve(args);
   if (cmd == "query") return cmd_query(args);
   if (cmd == "stats") return cmd_stats(args);

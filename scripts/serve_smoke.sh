@@ -6,8 +6,12 @@
 # requires:
 #   * every in-deadline request is answered ok (zero drops),
 #   * {"op":"health"} reports ready,
+#   * {"op":"search"} (via `icnet_cli search --port`) completes a small
+#     policy search twice with byte-identical reports, batching its oracle
+#     calls (search_oracle_batches < search_oracle_calls),
 #   * {"op":"stats","format":"prometheus"} parses and shows a
-#     serve_request_seconds histogram with a nonzero _count,
+#     serve_request_seconds histogram with a nonzero _count plus the
+#     search_* counters from the policy search,
 #   * the server shuts down gracefully (exit code 0) on {"op":"shutdown"}.
 #
 # Usage: scripts/serve_smoke.sh [path/to/icnet_cli]
@@ -135,6 +139,36 @@ assert health.get("uptime_seconds", -1) >= 0, f"bad uptime: {health}"
 print(f"OK: ready with models {health['models']}")
 PY
 
+echo "== policy search over the wire"
+"$CLI" search --port "$PORT" --budget 4 --scheme xor \
+  --greedy-steps 4 --sa-steps 4 --neighbors 4 --top-k 1 \
+  --verify-max-conflicts 20000 --out "$WORK/search_report.json"
+"$CLI" search --port "$PORT" --budget 4 --scheme xor \
+  --greedy-steps 4 --sa-steps 4 --neighbors 4 --top-k 1 \
+  --verify-max-conflicts 20000 --out "$WORK/search_report2.json" > /dev/null
+cmp "$WORK/search_report.json" "$WORK/search_report2.json" \
+  || { echo "FAIL: search reports differ across identical runs"; exit 1; }
+python3 - "$WORK/search_report.json" <<'PY'
+import json, sys
+
+report = json.load(open(sys.argv[1]))
+assert report.get("doc") == "icnet_search_report", f"bad doc: {report.get('doc')}"
+assert report.get("schema") == 1, f"bad schema: {report.get('schema')}"
+steps = report.get("steps", [])
+assert len(steps) == 8, f"expected 8 steps, got {len(steps)}"
+calls, batches = report.get("oracle_calls", 0), report.get("oracle_batches", 0)
+assert calls > 0, "no oracle calls recorded"
+assert 0 < batches < calls, \
+    f"candidates must be scored in batches: {batches} batches / {calls} calls"
+verified = report.get("verified", [])
+assert len(verified) == 1, f"expected 1 verified candidate, got {len(verified)}"
+assert verified[0]["actual_seconds"] > 0, f"no attack outcome: {verified[0]}"
+assert len(report.get("best_selection", [])) == 4, "bad best selection"
+print(f"OK: deterministic report, {calls} oracle calls in {batches} batches, "
+      f"predicted {verified[0]['predicted_seconds']:.6f}s vs "
+      f"actual {verified[0]['actual_seconds']:.6f}s")
+PY
+
 echo "== checking prometheus exposition"
 "$CLI" stats --port "$PORT" --format prometheus > "$WORK/metrics.prom"
 python3 - "$WORK/metrics.prom" <<'PY'
@@ -155,6 +189,13 @@ for line in open(sys.argv[1]):
 count = samples.get("serve_request_seconds_count")
 assert count is not None, "serve_request_seconds histogram missing"
 assert count > 0, "serve_request_seconds_count is zero after the blast"
+
+oracle_calls = samples.get("search_oracle_calls", 0)
+oracle_batches = samples.get("search_oracle_batches", 0)
+assert oracle_calls > 0, "search_oracle_calls is zero after the search"
+assert 0 < oracle_batches < oracle_calls, \
+    f"search must batch its oracle calls: {oracle_batches}/{oracle_calls}"
+assert samples.get("search_steps", 0) > 0, "search_steps counter missing"
 
 # The progress plane samples /proc/self into process_* gauges; a zero RSS
 # or thread count means the sampler silently broke.

@@ -1,0 +1,23 @@
+// SearchReport JSON rendering (DESIGN.md §14).
+//
+// The report is a normalized document — {"schema":1,"doc":"icnet_search_report",
+// ...} — in the same style as the bench and calibration artifacts: object keys
+// are emitted sorted, doubles use %.17g, and nothing time- or host-dependent
+// (wall-clock, pids, paths) is recorded, so the same search produces a
+// byte-identical file wherever and however parallel it ran.
+#pragma once
+
+#include <string>
+
+#include "ic/search/search.hpp"
+#include "ic/serve/wire.hpp"
+
+namespace ic::search {
+
+/// Render the report as a JSON document.
+serve::JsonValue report_to_json(const SearchReport& report);
+
+/// Write report_to_json(report).dump() + "\n" to `path` (atomic tmp+rename).
+void write_report(const SearchReport& report, const std::string& path);
+
+}  // namespace ic::search

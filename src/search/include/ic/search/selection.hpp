@@ -1,0 +1,32 @@
+// Selection parsing and validation, shared by the policy-search engine and
+// the CLI front-ends (predict --select/--select-file, search --init).
+//
+// A selection is a comma-separated list of gate ids ("12,57,101"). The
+// parser rejects non-numeric tokens; validation rejects out-of-range and
+// duplicate ids with a one-line error naming the offending value and, when
+// the caller supplies one, the input context (e.g. "selection file line 3"),
+// so a bad line in a thousand-line selection file is findable instead of
+// silently producing garbage features.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ic/circuit/netlist.hpp"
+
+namespace ic::search {
+
+/// Parse "id,id,..." (spaces around commas allowed). Throws
+/// std::runtime_error naming the offending token on non-numeric input.
+/// An empty/blank string parses to an empty selection.
+std::vector<circuit::GateId> parse_selection(const std::string& text);
+
+/// Validate a selection against a circuit: every id in range, no duplicates.
+/// Throws std::runtime_error with a one-line message; when `context` is
+/// non-empty it prefixes the message ("selection file line 3: duplicate
+/// gate id 12").
+void check_selection(const std::vector<circuit::GateId>& selection,
+                     const circuit::Netlist& circuit,
+                     const std::string& context = "");
+
+}  // namespace ic::search

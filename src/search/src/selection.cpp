@@ -1,0 +1,47 @@
+#include "ic/search/selection.hpp"
+
+#include <cctype>
+#include <unordered_set>
+
+#include "ic/support/assert.hpp"
+#include "ic/support/strings.hpp"
+
+namespace ic::search {
+
+std::vector<circuit::GateId> parse_selection(const std::string& text) {
+  std::vector<circuit::GateId> selection;
+  for (const auto& tok : ic::split(text, ", \t\r")) {
+    unsigned long long value = 0;
+    bool numeric = !tok.empty();
+    for (const char c : tok) {
+      if (!std::isdigit(static_cast<unsigned char>(c))) {
+        numeric = false;
+        break;
+      }
+      value = value * 10 + static_cast<unsigned long long>(c - '0');
+      if (value > 0xFFFFFFFFull) {
+        numeric = false;  // would truncate as a 32-bit gate id
+        break;
+      }
+    }
+    IC_CHECK(numeric, "'" << tok << "' is not a gate id");
+    selection.push_back(static_cast<circuit::GateId>(value));
+  }
+  return selection;
+}
+
+void check_selection(const std::vector<circuit::GateId>& selection,
+                     const circuit::Netlist& circuit,
+                     const std::string& context) {
+  const std::string prefix = context.empty() ? "" : context + ": ";
+  std::unordered_set<circuit::GateId> seen;
+  seen.reserve(selection.size());
+  for (const circuit::GateId id : selection) {
+    IC_CHECK(id < circuit.size(), prefix << "gate id " << id
+                                         << " out of range (circuit has "
+                                         << circuit.size() << " gates)");
+    IC_CHECK(seen.insert(id).second, prefix << "duplicate gate id " << id);
+  }
+}
+
+}  // namespace ic::search

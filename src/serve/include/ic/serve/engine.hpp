@@ -150,6 +150,14 @@ class InferenceEngine {
   /// submit() + wait. Convenience for tests and the CLI.
   PredictResult predict(PredictRequest request);
 
+  /// Submit every request before waiting on any, then collect results
+  /// index-aligned with the input. Because nothing waits until the whole
+  /// batch is enqueued, the shard batchers can coalesce it into micro-batches
+  /// across every shard — the policy searcher's per-neighborhood scoring path
+  /// (DESIGN.md §14). Answers are bit-identical to per-request predict().
+  std::vector<PredictResult> predict_batch(
+      std::vector<PredictRequest> requests);
+
   /// Shard the router would send this request to — a pure function of the
   /// registered circuit's fingerprint and the selection, exposed for
   /// shard-targeted tests and ops tooling.

@@ -47,6 +47,8 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -79,6 +81,22 @@ class Server {
   ~Server();  ///< calls shutdown()
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
+
+  /// Handler for an extension op. Invoked on an I/O thread with the parsed
+  /// request and a respond callback that must be called exactly once with
+  /// the complete response line (without trailing newline). The callback is
+  /// thread-safe and may fire later from any thread — handlers doing real
+  /// work (e.g. ic::search::SearchService for {"op":"search"}) hand it to
+  /// their own executor instead of blocking the I/O thread; the connection's
+  /// ordered response slots keep wire order regardless of completion order.
+  using OpHandler = std::function<void(
+      const WireRequest&, std::function<void(std::string)> respond)>;
+
+  /// Install `handler` for requests whose op equals `op` (must be an op
+  /// parse_request accepts; predict and the admin ops cannot be overridden).
+  /// Call before start(). Ops that parse but have no handler are answered
+  /// with an error response.
+  void register_op(const std::string& op, OpHandler handler);
 
   /// Bind + listen + start the I/O loops. Throws ic::input_error when the
   /// address cannot be bound.
@@ -120,6 +138,7 @@ class Server {
   InferenceEngine& engine_;
   ModelRegistry& registry_;
   ServerOptions options_;
+  std::map<std::string, OpHandler> op_handlers_;  // set before start()
 
   int listen_fd_ = -1;
   int port_ = 0;

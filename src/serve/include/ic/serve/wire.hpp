@@ -12,6 +12,10 @@
 //   {"op":"predict","model":"m","circuit":"c",
 //    "select":[1,2],"timeout_ms":250,"id":7,
 //    "request_id":"cli-42"}                          all fields
+//   {"op":"search","search":{"budget":4,
+//    "scheme":"xor","greedy_steps":8,...}}           obfuscation policy search
+//                                                    (DESIGN.md §14); every
+//                                                    field optional
 //   {"op":"ping"}                                    liveness probe
 //   {"op":"stats"}                                   live metrics snapshot
 //   {"op":"stats","format":"prometheus"}             …as Prometheus text (in
@@ -79,8 +83,27 @@ class JsonValue {
 
 // ---- typed request/response -------------------------------------------------
 
+/// Parameters of an {"op":"search"} request, wire names matching the
+/// icnet_cli search flags. Defaults mirror ic::search::SearchOptions so an
+/// empty "search" object runs the stock search.
+struct WireSearchParams {
+  std::uint64_t budget = 8;
+  std::string scheme = "lut4";  ///< lut4 | xor | antisat
+  std::uint64_t greedy_steps = 16;
+  std::uint64_t sa_steps = 16;
+  std::uint64_t neighbors = 8;
+  std::uint64_t top_k = 3;
+  std::uint64_t seed = 1;
+  double area_weight = 0.0;
+  double depth_weight = 0.0;
+  double sa_initial_temp = 1.0;
+  double sa_cooling = 0.9;
+  std::uint64_t verify_max_conflicts = 200000;
+};
+
 struct WireRequest {
-  std::string op = "predict";  ///< predict | ping | stats | health | shutdown
+  std::string op = "predict";  ///< predict | search | ping | stats | health
+                               ///< | shutdown
   std::string model = "default";
   std::string circuit = "default";
   std::vector<std::uint32_t> select;
@@ -89,6 +112,7 @@ struct WireRequest {
   bool has_id = false;
   std::string request_id;  ///< tracing id; server-assigned when empty
   std::string format;      ///< stats only: "" (JSON fields) | "prometheus"
+  WireSearchParams search;  ///< search only
 };
 
 struct WireResponse {

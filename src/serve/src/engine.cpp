@@ -204,6 +204,17 @@ PredictResult InferenceEngine::predict(PredictRequest request) {
   return submit(std::move(request)).get();
 }
 
+std::vector<PredictResult> InferenceEngine::predict_batch(
+    std::vector<PredictRequest> requests) {
+  std::vector<std::future<PredictResult>> futures;
+  futures.reserve(requests.size());
+  for (auto& request : requests) futures.push_back(submit(std::move(request)));
+  std::vector<PredictResult> results;
+  results.reserve(futures.size());
+  for (auto& future : futures) results.push_back(future.get());
+  return results;
+}
+
 PredictResult InferenceEngine::process(Shard& shard, const Pending& pending,
                                        std::size_t executor) {
   auto& metrics = telemetry::MetricsRegistry::global();

@@ -91,6 +91,15 @@ Server::Server(InferenceEngine& engine, ModelRegistry& registry,
 
 Server::~Server() { shutdown(); }
 
+void Server::register_op(const std::string& op, OpHandler handler) {
+  IC_CHECK(!running_.load(), "register_op must be called before start()");
+  IC_CHECK(op != "predict" && op != "ping" && op != "stats" &&
+               op != "health" && op != "shutdown",
+           "cannot override built-in op '" << op << "'");
+  IC_CHECK(static_cast<bool>(handler), "register_op needs a handler");
+  op_handlers_[op] = std::move(handler);
+}
+
 void Server::start() {
   IC_CHECK(!running_.load(), "server already started");
 
@@ -439,6 +448,48 @@ void Server::process_line(const std::shared_ptr<Conn>& conn,
           slot->ready = true;
           flush_locked(*c);
         });
+    return;
+  }
+  const auto handler = op_handlers_.find(req.op);
+  if (handler != op_handlers_.end()) {
+    // Same pipelining contract as predict: reserve the connection's next
+    // response slot now, let the handler answer whenever it finishes.
+    auto slot = std::make_shared<ResponseSlot>();
+    {
+      std::lock_guard<std::mutex> lock(conn->mu);
+      conn->slots.push_back(slot);
+    }
+    WireRequest request = req;
+    if (request.request_id.empty()) {
+      request.request_id =
+          "s-" + std::to_string(next_request_id_.fetch_add(1));
+    }
+    std::shared_ptr<Conn> c = conn;
+    handler->second(request, [this, c, slot](std::string text) {
+      std::lock_guard<std::mutex> lock(c->mu);
+      slot->text = std::move(text);
+      slot->ready = true;
+      flush_locked(*c);
+    });
+    return;
+  }
+  if (req.op == "search") {
+    // The op parses but no SearchService was installed on this server.
+    JsonValue resp = JsonValue::object();
+    if (req.has_id) {
+      resp.set("id", JsonValue::number(static_cast<double>(req.id)));
+    }
+    resp.set("op", JsonValue::string(req.op));
+    resp.set("ok", JsonValue::boolean(false));
+    resp.set("status", JsonValue::string("error"));
+    resp.set("error",
+             JsonValue::string("search is not enabled on this server"));
+    auto slot = std::make_shared<ResponseSlot>();
+    slot->ready = true;
+    slot->text = resp.dump();
+    std::lock_guard<std::mutex> lock(conn->mu);
+    conn->slots.push_back(std::move(slot));
+    flush_locked(*conn);
     return;
   }
   bool close_connection = false;

@@ -1,0 +1,466 @@
+// Policy-search coverage (DESIGN.md §14): shared selection parsing, fitness
+// oracles and their batching proof, greedy+SA determinism at any jobs/shards,
+// objective penalties, report rendering, and the {"op":"search"} wire path
+// matching the in-process path byte for byte.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <random>
+
+#include "ic/core/estimator.hpp"
+#include "ic/circuit/generator.hpp"
+#include "ic/search/report.hpp"
+#include "ic/search/search.hpp"
+#include "ic/search/selection.hpp"
+#include "ic/search/service.hpp"
+#include "ic/serve/serve.hpp"
+#include "ic/support/metrics.hpp"
+
+namespace ic::search {
+namespace {
+
+using circuit::GateId;
+using circuit::Netlist;
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "search_" + name;
+}
+
+Netlist test_circuit() {
+  circuit::GeneratorSpec spec;
+  spec.num_inputs = 10;
+  spec.num_outputs = 5;
+  spec.num_gates = 64;
+  spec.seed = 42;
+  return circuit::generate_circuit(spec, "search");
+}
+
+data::Dataset synthetic_dataset(std::shared_ptr<const Netlist> circuit,
+                                std::uint64_t seed) {
+  data::Dataset ds;
+  ds.circuit = std::move(circuit);
+  std::mt19937_64 rng(seed);
+  for (std::size_t i = 0; i < 10; ++i) {
+    data::Instance inst;
+    const std::size_t count = 1 + i % 4;
+    for (std::size_t g = 0; g < count; ++g) {
+      inst.selection.push_back(
+          static_cast<GateId>(rng() % ds.circuit->size()));
+    }
+    inst.runtime_seconds = 0.0005 * static_cast<double>(i + 1);
+    ds.instances.push_back(inst);
+  }
+  return ds;
+}
+
+void write_model(const std::string& path,
+                 std::shared_ptr<const Netlist> circuit, std::uint64_t seed) {
+  core::EstimatorOptions options;
+  options.hidden = {6, 4};
+  options.seed = seed;
+  options.train.max_epochs = 5;
+  core::RuntimeEstimator estimator(options);
+  estimator.fit(synthetic_dataset(std::move(circuit), seed));
+  estimator.save(path);
+}
+
+SearchOptions small_options() {
+  SearchOptions options;
+  options.budget = 3;
+  options.scheme = LockScheme::Xor;
+  options.greedy_steps = 3;
+  options.sa_steps = 3;
+  options.neighbors = 4;
+  options.top_k = 2;
+  options.seed = 7;
+  options.verify_max_conflicts = 20000;
+  return options;
+}
+
+class SearchTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    circuit_ = std::make_shared<const Netlist>(test_circuit());
+    model_path_ = temp_path("model.txt");
+    write_model(model_path_, circuit_, 1);
+  }
+  static void TearDownTestSuite() { circuit_.reset(); }
+
+  /// Run the small search through an engine with the given parallelism.
+  static SearchReport run_search(std::size_t shards, std::size_t jobs,
+                                 SearchOptions options) {
+    serve::ModelRegistry registry;
+    registry.load("default", model_path_);
+    serve::EngineOptions engine_options;
+    engine_options.shards = shards;
+    engine_options.jobs = jobs;
+    serve::InferenceEngine engine(registry, engine_options);
+    engine.register_circuit("default", circuit_);
+    EngineOracle oracle(engine);
+    return policy_search(*circuit_, oracle, options);
+  }
+
+  static std::shared_ptr<const Netlist> circuit_;
+  static std::string model_path_;
+};
+
+std::shared_ptr<const Netlist> SearchTest::circuit_;
+std::string SearchTest::model_path_;
+
+// ---- selection parsing (shared with icnet_cli) ------------------------------
+
+TEST(SelectionParse, AcceptsCommaAndWhitespaceSeparators) {
+  EXPECT_EQ(parse_selection("1,2,3"), (std::vector<GateId>{1, 2, 3}));
+  EXPECT_EQ(parse_selection(" 4 5\t6\r"), (std::vector<GateId>{4, 5, 6}));
+  EXPECT_EQ(parse_selection(""), std::vector<GateId>{});
+}
+
+TEST(SelectionParse, RejectsNonNumericTokensByName) {
+  try {
+    parse_selection("1,x7,3");
+    FAIL() << "expected a parse error";
+  } catch (const std::exception& e) {
+    EXPECT_NE(std::string(e.what()).find("'x7' is not a gate id"),
+              std::string::npos)
+        << e.what();
+  }
+  EXPECT_THROW(parse_selection("-1"), std::runtime_error);
+  EXPECT_THROW(parse_selection("4294967296"), std::runtime_error)
+      << "must reject values that would truncate to 32 bits";
+}
+
+TEST(SelectionParse, CheckRejectsOutOfRangeAndDuplicatesWithContext) {
+  const Netlist circuit = test_circuit();
+  check_selection({0, 1, 2}, circuit);  // no throw
+  try {
+    check_selection({0, static_cast<GateId>(circuit.size())}, circuit,
+                    "selection file line 3");
+    FAIL() << "expected an out-of-range error";
+  } catch (const std::exception& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("selection file line 3"), std::string::npos) << what;
+    EXPECT_NE(what.find("out of range"), std::string::npos) << what;
+  }
+  try {
+    check_selection({5, 9, 5}, circuit, "selection file line 7");
+    FAIL() << "expected a duplicate error";
+  } catch (const std::exception& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("selection file line 7"), std::string::npos) << what;
+    EXPECT_NE(what.find("duplicate gate id 5"), std::string::npos) << what;
+  }
+}
+
+// ---- objective pieces -------------------------------------------------------
+
+TEST(KeyBits, PerScheme) {
+  const Netlist circuit = test_circuit();
+  EXPECT_EQ(key_bits_for(LockScheme::Xor, {1, 2, 3}, circuit, 3), 3u);
+  EXPECT_EQ(key_bits_for(LockScheme::AntiSat, {4}, circuit, 6), 12u);
+  std::size_t expected = 0;
+  const std::vector<GateId> selection{40, 50, 60};
+  for (const GateId id : selection) {
+    expected += static_cast<std::size_t>(1)
+                << std::max<std::size_t>(4, circuit.gate(id).fanins.size());
+  }
+  EXPECT_EQ(key_bits_for(LockScheme::Lut4, selection, circuit, 3), expected);
+}
+
+// ---- oracles ----------------------------------------------------------------
+
+TEST_F(SearchTest, EngineOracleBatchMatchesSinglePredictions) {
+  serve::ModelRegistry registry;
+  registry.load("default", model_path_);
+  serve::InferenceEngine engine(registry);
+  engine.register_circuit("default", circuit_);
+  EngineOracle oracle(engine);
+
+  const std::vector<std::vector<GateId>> selections{
+      {1, 2, 3}, {10, 20}, {7}, {30, 31, 32, 33}};
+  auto& metrics = telemetry::MetricsRegistry::global();
+  const auto calls_before = metrics.counter("search.oracle_calls").value();
+  const auto batches_before = metrics.counter("search.oracle_batches").value();
+  const auto out = oracle.predict_log_batch(selections);
+  EXPECT_EQ(metrics.counter("search.oracle_calls").value(),
+            calls_before + selections.size());
+  EXPECT_EQ(metrics.counter("search.oracle_batches").value(),
+            batches_before + 1);
+
+  ASSERT_EQ(out.size(), selections.size());
+  for (std::size_t i = 0; i < selections.size(); ++i) {
+    serve::PredictRequest request;
+    request.selection = selections[i];
+    const auto single = engine.predict(std::move(request));
+    ASSERT_TRUE(single.ok());
+    EXPECT_EQ(out[i], single.log_runtime) << "batch vs single, index " << i;
+  }
+}
+
+TEST_F(SearchTest, EngineOracleThrowsOnUnknownModel) {
+  serve::ModelRegistry registry;
+  registry.load("default", model_path_);
+  serve::InferenceEngine engine(registry);
+  engine.register_circuit("default", circuit_);
+  EngineOracle oracle(engine, "nope");
+  EXPECT_THROW(oracle.predict_log_batch({{1, 2}}), std::runtime_error);
+}
+
+// ---- the search itself ------------------------------------------------------
+
+TEST_F(SearchTest, SearchScoresNeighborhoodsInBatches) {
+  const SearchOptions options = small_options();
+  const SearchReport report = run_search(1, 0, options);
+
+  const std::size_t total_steps = options.greedy_steps + options.sa_steps;
+  EXPECT_EQ(report.steps.size(), total_steps);
+  // One batch for the initial selection, one per step.
+  EXPECT_EQ(report.oracle_batches, total_steps + 1);
+  EXPECT_EQ(report.oracle_calls, 1 + total_steps * options.neighbors);
+  EXPECT_LT(report.oracle_batches, report.oracle_calls)
+      << "candidates must be scored in bulk, not one by one";
+
+  EXPECT_EQ(report.steps.front().phase, "greedy");
+  EXPECT_EQ(report.steps.back().phase, "sa");
+  EXPECT_EQ(report.best_selection.size(), options.budget);
+  EXPECT_TRUE(std::is_sorted(report.best_selection.begin(),
+                             report.best_selection.end()));
+
+  ASSERT_EQ(report.verified.size(), options.top_k);
+  EXPECT_GE(report.verified[0].objective, report.verified[1].objective);
+  EXPECT_EQ(report.verified[0].objective, report.best_objective);
+  for (const auto& v : report.verified) {
+    EXPECT_GT(v.actual_seconds, 0.0);
+    EXPECT_EQ(v.key_bits, options.budget);  // xor: one bit per gate
+  }
+}
+
+TEST_F(SearchTest, ReportIsByteIdenticalAcrossJobsAndShards) {
+  const SearchOptions options = small_options();
+  const std::string baseline =
+      report_to_json(run_search(1, 0, options)).dump();
+  EXPECT_EQ(report_to_json(run_search(1, 4, options)).dump(), baseline)
+      << "jobs must not change the report";
+  EXPECT_EQ(report_to_json(run_search(4, 4, options)).dump(), baseline)
+      << "shards must not change the report";
+}
+
+TEST_F(SearchTest, AreaPenaltyIsAppliedToTheObjective) {
+  SearchOptions options = small_options();
+  options.top_k = 0;
+  options.objective.area_weight = 0.5;
+  const SearchReport report = run_search(1, 0, options);
+  const std::size_t key_bits = key_bits_for(
+      options.scheme, report.best_selection, *circuit_, options.budget);
+  EXPECT_DOUBLE_EQ(
+      report.best_objective,
+      report.best_predicted_log_runtime - 0.5 * static_cast<double>(key_bits));
+}
+
+TEST_F(SearchTest, AntiSatSchemeSearchesSingleTargetWire) {
+  SearchOptions options = small_options();
+  options.scheme = LockScheme::AntiSat;
+  options.budget = 3;  // AND-tree width
+  options.top_k = 1;
+  const SearchReport report = run_search(1, 0, options);
+  EXPECT_EQ(report.best_selection.size(), 1u);
+  ASSERT_EQ(report.verified.size(), 1u);
+  EXPECT_EQ(report.verified[0].key_bits, 6u);  // 2 * width
+}
+
+TEST_F(SearchTest, InfeasibleOptionsThrow) {
+  SearchOptions options = small_options();
+  options.neighbors = 0;
+  EXPECT_THROW(run_search(1, 0, options), std::runtime_error);
+  options = small_options();
+  options.budget = circuit_->size();  // larger than the lockable pool
+  EXPECT_THROW(run_search(1, 0, options), std::runtime_error);
+}
+
+// ---- report rendering -------------------------------------------------------
+
+TEST_F(SearchTest, ReportJsonRoundTripsThroughParse) {
+  SearchOptions options = small_options();
+  options.top_k = 1;
+  const SearchReport report = run_search(1, 0, options);
+  const serve::JsonValue doc = report_to_json(report);
+  EXPECT_EQ(doc.find("doc")->as_string(), "icnet_search_report");
+  EXPECT_EQ(doc.find("schema")->as_number(), 1.0);
+  EXPECT_EQ(serve::JsonValue::parse(doc.dump()).dump(), doc.dump());
+  const std::string path = temp_path("report.json");
+  write_report(report, path);
+  std::ifstream in(path);
+  std::string text;
+  std::getline(in, text);
+  EXPECT_EQ(text, doc.dump());
+}
+
+// ---- wire plumbing ----------------------------------------------------------
+
+TEST(SearchWire, RequestRoundTripsThroughEncodeAndParse) {
+  serve::WireRequest request;
+  request.op = "search";
+  request.circuit = "c";
+  request.search.budget = 5;
+  request.search.scheme = "antisat";
+  request.search.sa_cooling = 0.75;
+  request.search.seed = 99;
+  const serve::WireRequest parsed =
+      serve::parse_request(serve::encode_request(request));
+  EXPECT_EQ(parsed.op, "search");
+  EXPECT_EQ(parsed.circuit, "c");
+  EXPECT_EQ(parsed.search.budget, 5u);
+  EXPECT_EQ(parsed.search.scheme, "antisat");
+  EXPECT_EQ(parsed.search.sa_cooling, 0.75);
+  EXPECT_EQ(parsed.search.seed, 99u);
+  // Unset fields keep their defaults.
+  EXPECT_EQ(parsed.search.greedy_steps, 16u);
+  EXPECT_EQ(parsed.search.verify_max_conflicts, 200000u);
+}
+
+TEST(SearchWire, ParserRejectsBadParams) {
+  EXPECT_THROW(serve::parse_request(R"({"op":"search","search":{"scheme":"rot13"}})"),
+               std::runtime_error);
+  EXPECT_THROW(serve::parse_request(R"({"op":"search","search":{"budget":-3}})"),
+               std::runtime_error);
+  EXPECT_THROW(serve::parse_request(R"({"op":"search","search":[1]})"),
+               std::runtime_error);
+}
+
+TEST(SearchWire, OptionsFromWireMapsEveryField) {
+  serve::WireSearchParams params;
+  params.budget = 4;
+  params.scheme = "xor";
+  params.greedy_steps = 2;
+  params.sa_steps = 5;
+  params.neighbors = 6;
+  params.top_k = 1;
+  params.seed = 11;
+  params.area_weight = 0.25;
+  params.depth_weight = 0.125;
+  params.sa_initial_temp = 2.0;
+  params.sa_cooling = 0.5;
+  params.verify_max_conflicts = 1234;
+  const SearchOptions options = options_from_wire(params);
+  EXPECT_EQ(options.budget, 4u);
+  EXPECT_EQ(options.scheme, LockScheme::Xor);
+  EXPECT_EQ(options.greedy_steps, 2u);
+  EXPECT_EQ(options.sa_steps, 5u);
+  EXPECT_EQ(options.neighbors, 6u);
+  EXPECT_EQ(options.top_k, 1u);
+  EXPECT_EQ(options.seed, 11u);
+  EXPECT_EQ(options.objective.area_weight, 0.25);
+  EXPECT_EQ(options.objective.depth_weight, 0.125);
+  EXPECT_EQ(options.sa_initial_temp, 2.0);
+  EXPECT_EQ(options.sa_cooling, 0.5);
+  EXPECT_EQ(options.verify_max_conflicts, 1234u);
+}
+
+TEST_F(SearchTest, ClientPredictBatchPipelinesInOrder) {
+  serve::ModelRegistry registry;
+  registry.load("default", model_path_);
+  serve::InferenceEngine engine(registry);
+  engine.register_circuit("default", circuit_);
+  serve::Server server(engine, registry);
+  server.start();
+
+  serve::Client client("127.0.0.1", server.port());
+  std::vector<serve::WireRequest> requests;
+  for (std::uint32_t i = 0; i < 6; ++i) {
+    serve::WireRequest request;
+    request.op = "predict";
+    request.select = {i + 1, i + 10};
+    request.id = i;
+    request.has_id = true;
+    requests.push_back(std::move(request));
+  }
+  const auto responses = client.predict_batch(requests);
+  ASSERT_EQ(responses.size(), requests.size());
+  for (std::size_t i = 0; i < responses.size(); ++i) {
+    ASSERT_TRUE(responses[i].ok) << responses[i].error;
+    EXPECT_EQ(responses[i].id, requests[i].id) << "responses out of order";
+    serve::PredictRequest direct;
+    direct.selection = {requests[i].select[0], requests[i].select[1]};
+    EXPECT_EQ(responses[i].log_runtime,
+              engine.predict(std::move(direct)).log_runtime);
+  }
+  client.close();
+  server.shutdown();
+  engine.stop();
+}
+
+TEST_F(SearchTest, WireSearchMatchesInProcessByteForByte) {
+  serve::ModelRegistry registry;
+  registry.load("default", model_path_);
+  serve::EngineOptions engine_options;
+  engine_options.shards = 2;
+  serve::InferenceEngine engine(registry, engine_options);
+  engine.register_circuit("default", circuit_);
+  SearchService service(engine);
+  service.register_circuit("default", circuit_);
+  serve::Server server(engine, registry);
+  service.install(server);
+  server.start();
+
+  serve::WireRequest request;
+  request.op = "search";
+  request.search.budget = 3;
+  request.search.scheme = "xor";
+  request.search.greedy_steps = 2;
+  request.search.sa_steps = 2;
+  request.search.neighbors = 3;
+  request.search.top_k = 1;
+  request.search.seed = 7;
+  request.search.verify_max_conflicts = 20000;
+
+  serve::Client client("127.0.0.1", server.port());
+  const auto response = client.call(request);
+  ASSERT_TRUE(response.ok) << response.error;
+  const auto* wire_report = response.raw.find("report");
+  ASSERT_NE(wire_report, nullptr);
+
+  const SearchReport local = service.run(request);
+  EXPECT_EQ(wire_report->dump(), report_to_json(local).dump())
+      << "wire and in-process searches must agree byte for byte";
+
+  client.close();
+  server.shutdown();
+  service.stop();
+  engine.stop();
+}
+
+TEST_F(SearchTest, SearchOpWithoutServiceAnswersError) {
+  serve::ModelRegistry registry;
+  registry.load("default", model_path_);
+  serve::InferenceEngine engine(registry);
+  engine.register_circuit("default", circuit_);
+  serve::Server server(engine, registry);
+  server.start();
+
+  serve::WireRequest request;
+  request.op = "search";
+  serve::Client client("127.0.0.1", server.port());
+  const auto response = client.call(request);
+  EXPECT_FALSE(response.ok);
+  EXPECT_NE(response.error.find("not enabled"), std::string::npos)
+      << response.error;
+
+  client.close();
+  server.shutdown();
+  engine.stop();
+}
+
+TEST_F(SearchTest, ServiceRejectsUnknownCircuit) {
+  serve::ModelRegistry registry;
+  registry.load("default", model_path_);
+  serve::InferenceEngine engine(registry);
+  engine.register_circuit("default", circuit_);
+  SearchService service(engine);
+  serve::WireRequest request;
+  request.op = "search";
+  EXPECT_THROW(service.run(request), std::runtime_error);
+  service.stop();
+}
+
+}  // namespace
+}  // namespace ic::search

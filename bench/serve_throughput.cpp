@@ -188,6 +188,7 @@ int main() {
       if (i >= 32) break;
     }
     metrics.histogram("serve.request_seconds").reset();
+    metrics.histogram("serve.batch_size").reset();
 
     const std::size_t submitters = 4;
     std::vector<std::future<ic::serve::PredictResult>> futures(requests);
@@ -224,6 +225,23 @@ int main() {
     icbench::record_measurement(tag + ".requests_per_second", rps);
     icbench::record_measurement(tag + ".p50_latency_seconds", p50);
     icbench::record_measurement(tag + ".p99_latency_seconds", p99);
+    // Batching efficiency: how full the micro-batches actually ran. The
+    // engine observes serve.batch_size once per batch; mean occupancy near 1
+    // means the batchers kept outrunning the submitters, occupancy near
+    // max_batch means requests queued deep enough to coalesce.
+    const auto& occupancy = metrics.histogram("serve.batch_size");
+    if (occupancy.count() > 0) {
+      const double mean_batch =
+          occupancy.sum() / static_cast<double>(occupancy.count());
+      std::printf("         batch occupancy: mean %.1f, max %.0f over %llu "
+                  "batches\n",
+                  mean_batch, occupancy.max(),
+                  static_cast<unsigned long long>(occupancy.count()));
+      icbench::record_measurement(tag + ".batch_size_mean", mean_batch);
+      icbench::record_measurement(tag + ".batch_size_max", occupancy.max());
+      icbench::record_measurement(tag + ".batches",
+                                  static_cast<double>(occupancy.count()));
+    }
     if (shards == 4 && shards1_rps > 0) {
       std::printf("shards=1 -> shards=4 scaling: %.2fx\n", rps / shards1_rps);
     }

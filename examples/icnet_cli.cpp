@@ -30,9 +30,13 @@
 //                     [--batch B] [--timeout-ms T] [--reload-ms R]
 //                     [--slow-ms T] [--feature-cache-max N]
 //   icnet_cli query   --port P [--host H] --select "12,57,101"
-//                     [--op predict|ping|stats|health|shutdown] [--model M]
-//                     [--circuit C] [--timeout-ms T] [--request-id ID]
+//                     [--op predict|ping|profile|traces|stats|health|shutdown]
+//                     [--model M] [--circuit C] [--timeout-ms T]
+//                     [--request-id ID]
 //                     [--format json|prometheus]   (stats only)
+//                     [--action start|stop|dump] [--seconds S] [--hz N]
+//                     [--out file.folded]          (profile only; --out saves
+//                                                  the dumped folded stacks)
 //   icnet_cli stats   --port P [--host H] [--format json|prometheus]
 //                     [--timeout-ms T]   connect/IO bound, default 5000;
 //                                        unreachable server → one-line
@@ -60,6 +64,13 @@
 //                         stalls) dump the flight-recorder ring. Defaults to
 //                         icnet_flight.<cmd>.dump for attack/dataset/train/
 //                         serve; "none" disables the handlers entirely
+//   --profile-out <file>  run the in-process sampling profiler (SIGPROF,
+//                         99 Hz) for the whole command and write
+//                         flamegraph-compatible folded stacks to <file> on
+//                         exit. ICNET_PROFILE=path[,hz][,seconds] arms the
+//                         same profiler from the environment; on a live
+//                         server, {"op":"profile"} starts/stops/dumps it
+//                         without restarting (see `query --op profile`)
 //
 // Parallelism, accepted by every subcommand:
 //   --jobs N              worker threads for the parallel loops (dataset
@@ -558,12 +569,38 @@ int cmd_query(const Args& a) {
     request.select = parse_selection(opt(a, "select", ""));
     IC_CHECK(!request.select.empty(), "query needs --select \"id,id,...\"");
   }
+  if (request.op == "profile") {
+    request.action = opt(a, "action", "dump");
+    request.seconds = std::stod(opt(a, "seconds", "0"));
+    request.hz = std::stoll(opt(a, "hz", "0"));
+  }
 
   const auto response = client.call(request);
   if (!response.ok) {
     std::fprintf(stderr, "error: %s (%s)\n", response.error.c_str(),
                  response.status.c_str());
     return 1;
+  }
+  if (request.op == "profile" && request.action == "dump") {
+    // A dump can be large; --out writes the folded stacks to a file ready
+    // for flamegraph.pl, and the console gets a one-line summary.
+    const std::string out = opt(a, "out", "");
+    const auto* folded = response.raw.find("folded");
+    const auto* samples = response.raw.find("samples");
+    if (!out.empty()) {
+      IC_CHECK(folded != nullptr, "profile dump carried no folded stacks");
+      std::FILE* file = std::fopen(out.c_str(), "w");
+      IC_CHECK(file != nullptr, "cannot write " << out);
+      std::fputs(folded->as_string().c_str(), file);
+      std::fclose(file);
+      std::printf("wrote %zu bytes of folded stacks (%.0f samples) to %s\n",
+                  folded->as_string().size(),
+                  samples != nullptr ? samples->as_number() : 0.0,
+                  out.c_str());
+    } else {
+      print_response(response);
+    }
+    return 0;
   }
   if (request.op == "predict") {
     std::printf("predicted de-obfuscation runtime: %.6f s (log-label %.4f, "
@@ -658,6 +695,9 @@ int main(int argc, char** argv) {
   std::unique_ptr<ic::telemetry::Heartbeat> heartbeat;
   auto flush_telemetry = [&]() {
     if (heartbeat != nullptr) heartbeat->stop();
+    // Stops the sampler and writes the folded stacks, when --profile-out or
+    // ICNET_PROFILE armed one. Idempotent.
+    ic::telemetry::profile_flush();
     if (!trace_out.empty()) ic::telemetry::dump_trace(trace_out);
     if (flusher != nullptr) {
       flusher->stop();  // joins the thread and writes the final snapshot
@@ -691,6 +731,13 @@ int main(int argc, char** argv) {
                "--metrics-interval needs --metrics-out <file>");
       flusher = std::make_unique<ic::telemetry::MetricsFlusher>(
           metrics_out, std::chrono::milliseconds(std::stoll(metrics_interval)));
+    }
+    const std::string profile_out = take_opt(args, "profile-out");
+    if (!profile_out.empty()) {
+      ic::telemetry::set_profile_output(profile_out);
+      ic::telemetry::Profiler::global().start({});
+    } else {
+      ic::telemetry::profile_from_env();  // ICNET_PROFILE=path[,hz][,seconds]
     }
     const std::string jobs = take_opt(args, "jobs");
     if (!jobs.empty()) {

@@ -11,7 +11,14 @@
 #     calls (search_oracle_batches < search_oracle_calls),
 #   * {"op":"stats","format":"prometheus"} parses and shows a
 #     serve_request_seconds histogram with a nonzero _count plus the
-#     search_* counters from the policy search,
+#     search_* counters from the policy search and nonzero serve_stage_*
+#     histograms from the request timelines,
+#   * {"op":"profile","action":"start"} arms the in-process sampling
+#     profiler and a later dump returns non-empty, well-formed folded
+#     stacks (uploaded as a CI artifact when SMOKE_ARTIFACT_DIR is set),
+#   * {"op":"traces"} returns stage-attributed timelines whose stage
+#     completion timestamps are monotonic, with the forward pass split
+#     into spmm / dense / readout,
 #   * the server shuts down gracefully (exit code 0) on {"op":"shutdown"}.
 #
 # Usage: scripts/serve_smoke.sh [path/to/icnet_cli]
@@ -66,6 +73,20 @@ for _ in $(seq 1 100); do
   sleep 0.1
 done
 "$CLI" query --port "$PORT" --op ping > /dev/null
+
+echo "== arming the in-process sampling profiler (timed capture)"
+"$CLI" query --port "$PORT" --op profile --action start --hz 997 --seconds 120 \
+  > "$WORK/profile_start.json"
+cat "$WORK/profile_start.json"
+python3 - "$WORK/profile_start.json" <<'PY'
+import json, sys
+
+resp = json.load(open(sys.argv[1]))
+assert resp.get("ok") is True, f"profile start failed: {resp}"
+assert resp.get("started") is True, f"profiler did not arm: {resp}"
+assert resp.get("running") is True, f"profiler not running: {resp}"
+print("OK: profiler sampling at 997 Hz")
+PY
 
 echo "== blasting $((CLIENTS * PER_CLIENT)) concurrent queries"
 python3 - "$PORT" "$CLIENTS" "$PER_CLIENT" <<'PY'
@@ -169,6 +190,56 @@ print(f"OK: deterministic report, {calls} oracle calls in {batches} batches, "
       f"actual {verified[0]['actual_seconds']:.6f}s")
 PY
 
+echo "== dumping the profile capture"
+PROFILE_DIR=${SMOKE_ARTIFACT_DIR:-$WORK}
+"$CLI" query --port "$PORT" --op profile --action dump \
+  --out "$PROFILE_DIR/serve_profile.folded"
+python3 - "$PROFILE_DIR/serve_profile.folded" <<'PY'
+import sys
+
+lines = open(sys.argv[1]).read().splitlines()
+assert lines, "folded capture is empty — the blast + search burned CPU"
+total = 0
+for line in lines:
+    stack, _, count = line.rpartition(" ")
+    assert stack and count.isdigit(), f"unparseable folded line: {line!r}"
+    total += int(count)
+print(f"OK: {total} samples across {len(lines)} folded stacks")
+PY
+
+echo "== checking stage-attributed request timelines"
+"$CLI" query --port "$PORT" --op traces > "$WORK/traces.json"
+python3 - "$WORK/traces.json" <<'PY'
+import json, sys
+
+resp = json.load(open(sys.argv[1]))
+assert resp.get("ok") is True, f"traces query failed: {resp}"
+assert resp.get("recorded", 0) > 0, f"no timelines recorded: {resp}"
+traces = resp.get("traces", [])
+assert traces, f"trace store returned no retained timelines: {resp}"
+forward_split = 0
+for trace in traces:
+    assert trace.get("request_id"), f"trace without request id: {trace}"
+    fp = trace.get("fingerprint", "")
+    assert fp.startswith("0x") and len(fp) == 18, f"bad fingerprint: {trace}"
+    assert trace.get("batch_size", 0) >= 1, f"bad batch size: {trace}"
+    stages = trace.get("stages", [])
+    assert stages, f"trace without stages: {trace}"
+    last_ts = 0
+    for stage in stages:
+        assert stage["ts_us"] >= last_ts, \
+            f"stage completion times must be monotonic: {trace}"
+        last_ts = stage["ts_us"]
+        assert stage["dur_us"] >= 0, f"negative stage duration: {trace}"
+    names = {stage["stage"] for stage in stages}
+    if {"spmm", "dense", "readout"} <= names:
+        forward_split += 1
+assert forward_split > 0, \
+    "no timeline attributed the forward pass to spmm/dense/readout"
+print(f"OK: {len(traces)} timelines retained, {forward_split} with a full "
+      f"spmm/dense/readout split")
+PY
+
 echo "== checking prometheus exposition"
 "$CLI" stats --port "$PORT" --format prometheus > "$WORK/metrics.prom"
 python3 - "$WORK/metrics.prom" <<'PY'
@@ -202,6 +273,11 @@ assert samples.get("search_steps", 0) > 0, "search_steps counter missing"
 for gauge in ("process_resident_memory_bytes", "process_threads",
               "process_open_fds"):
     assert samples.get(gauge, 0) > 0, f"{gauge} missing or zero"
+
+# Stage-attributed latency: the forward-pass split must reach Prometheus.
+for stage in ("queue", "feature_build", "spmm", "dense", "readout"):
+    key = f"serve_stage_{stage}_seconds_count"
+    assert samples.get(key, 0) > 0, f"{key} missing or zero"
 print(f"OK: parseable exposition, serve_request_seconds_count={count:.0f}, "
       f"rss={samples['process_resident_memory_bytes']:.0f}B")
 PY

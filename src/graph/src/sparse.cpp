@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "ic/support/rng.hpp"
+#include "ic/support/timeline.hpp"
 
 namespace ic::graph {
 
@@ -63,6 +64,9 @@ Matrix SparseMatrix::spmm(const Matrix& x) const {
       for (std::size_t j = 0; j < x.cols(); ++j) orow[j] += v * xrow[j];
     }
   }
+  // Attribute this product to the serving request's timeline, if one is
+  // active on this thread (no-op everywhere else: training, tools, tests).
+  telemetry::mark_stage(telemetry::Stage::Spmm);
   return out;
 }
 

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "ic/support/timeline.hpp"
+
 namespace ic::nn {
 
 using graph::Matrix;
@@ -56,6 +58,9 @@ Matrix GraphConv::forward(const SparseMatrix& s, const Matrix& input) {
   for (std::size_t g = 0; g < out.rows(); ++g) {
     for (std::size_t j = 0; j < out.cols(); ++j) out(g, j) += bias_(0, j);
   }
+  // Chebyshev combination + bias are the dense half of this layer; the SpMM
+  // half already marked Stage::Spmm inside SparseMatrix::spmm.
+  telemetry::mark_stage(telemetry::Stage::Dense);
   return out;
 }
 

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "ic/support/timeline.hpp"
+
 namespace ic::nn {
 
 using graph::Matrix;
@@ -90,6 +92,7 @@ double GnnRegressor::forward(const SparseMatrix& s, const Matrix& x) {
   Matrix h = x;
   for (std::size_t i = 0; i < convs_.size(); ++i) {
     h = relus_[i].forward(convs_[i].forward(s, h));
+    telemetry::mark_stage(telemetry::Stage::Dense);  // charge the ReLU here
   }
   h_ = std::move(h);
   const std::size_t d = h_.cols();
@@ -128,7 +131,9 @@ double GnnRegressor::forward(const SparseMatrix& s, const Matrix& x) {
       break;
     }
   }
-  return head_forward(readout_vec_);
+  const double prediction = head_forward(readout_vec_);
+  telemetry::mark_stage(telemetry::Stage::Readout);
+  return prediction;
 }
 
 double GnnRegressor::predict(const SparseMatrix& s, const Matrix& x) {

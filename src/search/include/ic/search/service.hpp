@@ -18,8 +18,17 @@
 // mapping; icnet_cli uses it for its in-process path too, which is what
 // makes a wire search and a local search of the same parameters
 // byte-identical (SearchWireMatchesInProcess test).
+//
+// Slow-request parity with predict: a search slower end-to-end (enqueue →
+// response ready) than the engine's resolved slow-request threshold
+// (EngineOptions::slow_request_ms / IC_SLOW_REQUEST_MS, the CLI's --slow-ms)
+// bumps search.slow_requests and logs one "search.slow_request" warn line
+// carrying the request_id, circuit, queue wait, and search time. Every
+// search also feeds the search.request_seconds and search.queue_wait_seconds
+// histograms.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -75,6 +84,7 @@ class SearchService {
   struct Job {
     serve::WireRequest request;
     std::function<void(std::string)> respond;
+    std::chrono::steady_clock::time_point enqueued;
   };
 
   void worker_loop();

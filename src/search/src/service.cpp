@@ -79,7 +79,8 @@ void SearchService::install(serve::Server& server) {
               rejected ? "search queue is full" : "search service stopped"));
           return;
         }
-        queue_.push_back(Job{request, std::move(respond)});
+        queue_.push_back(
+            Job{request, std::move(respond), std::chrono::steady_clock::now()});
         lock.unlock();
         work_cv_.notify_one();
       });
@@ -130,7 +131,32 @@ void SearchService::worker_loop() {
       job = std::move(queue_.front());
       queue_.pop_front();
     }
-    job.respond(handle_job(job));
+    auto& metrics = telemetry::MetricsRegistry::global();
+    const auto started = std::chrono::steady_clock::now();
+    const double queue_wait =
+        std::chrono::duration<double>(started - job.enqueued).count();
+    metrics.histogram("search.queue_wait_seconds").observe(queue_wait);
+    const std::string response = handle_job(job);
+    const double search_time =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      started)
+            .count();
+    metrics.histogram("search.request_seconds").observe(queue_wait +
+                                                        search_time);
+    // Same --slow-ms policy as the predict path (the engine resolved the
+    // option/env once); searches are orders of magnitude slower than
+    // predicts, but the operator asked for one threshold on "a request".
+    const std::int64_t slow_ms = engine_.slow_request_ms();
+    if (slow_ms >= 0 && (queue_wait + search_time) * 1e3 >
+                            static_cast<double>(slow_ms)) {
+      metrics.counter("search.slow_requests").add(1);
+      ICLOG(warn) << "search.slow_request"
+                  << telemetry::kv("request_id", job.request.request_id)
+                  << telemetry::kv("circuit", job.request.circuit)
+                  << telemetry::kv("queue_wait_s", queue_wait)
+                  << telemetry::kv("search_s", search_time);
+    }
+    job.respond(response);
   }
 }
 

@@ -68,9 +68,11 @@
 #include "ic/serve/feature_cache.hpp"
 #include "ic/serve/model_registry.hpp"
 #include "ic/support/thread_pool.hpp"
+#include "ic/support/timeline.hpp"
 
 namespace ic::telemetry {
 class Gauge;
+class Histogram;
 }  // namespace ic::telemetry
 
 namespace ic::serve {
@@ -108,6 +110,12 @@ struct PredictRequest {
   /// echoed in the result, annotated on the serve/request trace span, and
   /// printed by the slow-request log line.
   std::string request_id;
+  /// Stage-attributed timeline. The server marks Accept/Parse before
+  /// submitting; the engine marks Route/Queue/BatchAdmit/FeatureBuild/
+  /// Respond, and the forward pass marks Spmm/Dense/Readout through the
+  /// thread-local installed around inference. Completed timelines feed the
+  /// engine's TraceStore and the serve.stage.*_seconds histograms.
+  telemetry::Timeline timeline;
 };
 
 struct PredictResult {
@@ -191,6 +199,15 @@ class InferenceEngine {
   /// Drop cached featurizations (cold-start benchmarking).
   void clear_feature_cache() { features_.clear(); }
 
+  /// Resolved slow-request threshold in ms (-1 = logging disabled). Shared
+  /// with the search service so {"op":"search"} participates in the same
+  /// --slow-ms policy as predict.
+  std::int64_t slow_request_ms() const { return slow_request_ms_; }
+
+  /// Tail-sampled request timelines (K slowest + 1-in-N uniform per shard),
+  /// the backing store of the {"op":"traces"} admin op.
+  const telemetry::TraceStore& traces() const { return *traces_; }
+
  private:
   struct Pending {
     PredictRequest request;
@@ -198,6 +215,8 @@ class InferenceEngine {
     Callback callback;  ///< when set, fulfilled via callback, not promise
     std::chrono::steady_clock::time_point enqueued;
     std::chrono::steady_clock::time_point deadline;  ///< max() = none
+    std::uint64_t fingerprint = 0;  ///< resolved circuit fingerprint
+    std::uint32_t batch_size = 0;   ///< micro-batch this request ran in
   };
   struct RegisteredCircuit {
     std::shared_ptr<const circuit::Netlist> netlist;
@@ -233,15 +252,23 @@ class InferenceEngine {
   static void fulfill(Pending& pending, PredictResult result);
   void enqueue(std::unique_ptr<Pending> pending);
   void batcher_loop(std::size_t shard_index);
-  PredictResult process(Shard& shard, const Pending& pending,
-                        std::size_t executor);
-  PredictResult process_inner(Shard& shard, const Pending& pending,
+  /// Observe serve.stage.* histograms and offer the timeline to the
+  /// TraceStore; called once per request at fulfillment.
+  void finish_timeline(Pending& pending, std::size_t shard_index,
+                       double total_seconds);
+  PredictResult process(Shard& shard, Pending& pending, std::size_t executor);
+  PredictResult process_inner(Shard& shard, Pending& pending,
                               std::size_t executor,
                               std::chrono::steady_clock::time_point started);
 
   ModelRegistry& registry_;
   EngineOptions options_;
   FeatureCache features_;
+  std::unique_ptr<telemetry::TraceStore> traces_;
+  /// serve.stage.<name>_seconds, indexed by Stage — resolved once so the
+  /// per-request fulfill loop does no registry lookups.
+  std::array<telemetry::Histogram*, telemetry::kStageCount> stage_hist_{};
+  telemetry::Histogram* batch_size_hist_ = nullptr;  // serve.batch_size
   std::int64_t slow_request_ms_ = -1;  ///< resolved option/env; -1 = off
   std::atomic<std::uint64_t> next_request_id_{0};
   std::atomic<std::size_t> total_depth_{0};  // feeds serve.queue_depth

@@ -17,6 +17,14 @@
 //                                                    (DESIGN.md §14); every
 //                                                    field optional
 //   {"op":"ping"}                                    liveness probe
+//   {"op":"profile","action":"start",
+//    "seconds":5,"hz":99}                            arm the sampling profiler
+//                                                    (action: start|stop|dump;
+//                                                    "dump" returns folded
+//                                                    stacks in "folded")
+//   {"op":"traces"}                                  tail-sampled request
+//                                                    timelines with per-stage
+//                                                    timestamps/durations
 //   {"op":"stats"}                                   live metrics snapshot
 //   {"op":"stats","format":"prometheus"}             …as Prometheus text (in
 //                                                    the "prometheus" field)
@@ -102,8 +110,8 @@ struct WireSearchParams {
 };
 
 struct WireRequest {
-  std::string op = "predict";  ///< predict | search | ping | stats | health
-                               ///< | shutdown
+  std::string op = "predict";  ///< predict | search | ping | profile | traces
+                               ///< | stats | health | shutdown
   std::string model = "default";
   std::string circuit = "default";
   std::vector<std::uint32_t> select;
@@ -113,6 +121,9 @@ struct WireRequest {
   std::string request_id;  ///< tracing id; server-assigned when empty
   std::string format;      ///< stats only: "" (JSON fields) | "prometheus"
   WireSearchParams search;  ///< search only
+  std::string action;      ///< profile only: start | stop | dump
+  double seconds = 0.0;    ///< profile start only: auto-stop deadline (0=none)
+  std::int64_t hz = 0;     ///< profile start only: sample rate (0=default 99)
 };
 
 struct WireResponse {

@@ -64,6 +64,17 @@ InferenceEngine::InferenceEngine(ModelRegistry& registry, EngineOptions options)
     }
   }
   auto& metrics = telemetry::MetricsRegistry::global();
+  telemetry::TraceStore::Options trace_options;
+  trace_options.shards = options_.shards;
+  traces_ = std::make_unique<telemetry::TraceStore>(trace_options);
+  for (std::size_t s = 0; s < telemetry::kStageCount; ++s) {
+    const auto stage = static_cast<telemetry::Stage>(s);
+    stage_hist_[s] = &metrics.histogram(
+        std::string("serve.stage.") + telemetry::stage_name(stage) +
+        "_seconds");
+  }
+  batch_size_hist_ = &metrics.histogram(
+      "serve.batch_size", {1, 2, 4, 8, 16, 32, 64, 128, 256});
   shards_.reserve(options_.shards);
   for (std::size_t k = 0; k < options_.shards; ++k) {
     auto shard = std::make_unique<Shard>();
@@ -150,6 +161,7 @@ void InferenceEngine::enqueue(std::unique_ptr<Pending> pending) {
       fulfill(*pending, std::move(rejected));
       return;
     }
+    pending->request.timeline.mark(telemetry::Stage::Route);
     shard.queue.push_back(std::move(pending));
     metrics.counter("serve.requests").add(1);
     const std::size_t total =
@@ -215,7 +227,7 @@ std::vector<PredictResult> InferenceEngine::predict_batch(
   return results;
 }
 
-PredictResult InferenceEngine::process(Shard& shard, const Pending& pending,
+PredictResult InferenceEngine::process(Shard& shard, Pending& pending,
                                        std::size_t executor) {
   auto& metrics = telemetry::MetricsRegistry::global();
   const PredictRequest& request = pending.request;
@@ -225,6 +237,10 @@ PredictResult InferenceEngine::process(Shard& shard, const Pending& pending,
   const double queue_wait =
       std::chrono::duration<double>(started - pending.enqueued).count();
   metrics.histogram("serve.queue_wait_seconds").observe(queue_wait);
+  pending.request.timeline.mark(telemetry::Stage::BatchAdmit);
+  // Expose the timeline to the forward pass (SpMM / GraphConv / readout mark
+  // inner stages through the thread-local) for the rest of this request.
+  telemetry::ScopedTimeline scoped(&pending.request.timeline);
   PredictResult out = process_inner(shard, pending, executor, started);
   out.request_id = request.request_id;
   const double compute =
@@ -250,8 +266,7 @@ PredictResult InferenceEngine::process(Shard& shard, const Pending& pending,
   return out;
 }
 
-PredictResult InferenceEngine::process_inner(Shard& shard,
-                                             const Pending& pending,
+PredictResult InferenceEngine::process_inner(Shard& shard, Pending& pending,
                                              std::size_t executor,
                                              Clock::time_point started) {
   auto& metrics = telemetry::MetricsRegistry::global();
@@ -283,6 +298,7 @@ PredictResult InferenceEngine::process_inner(Shard& shard,
       }
       circuit = it->second;
     }
+    pending.fingerprint = circuit.fingerprint;
     for (const circuit::GateId id : request.selection) {
       if (id >= circuit.netlist->size()) {
         metrics.counter("serve.errors").add(1);
@@ -297,6 +313,7 @@ PredictResult InferenceEngine::process_inner(Shard& shard,
                       snapshot->structure_kind(), circuit.fingerprint);
     const graph::Matrix x =
         FeatureCache::features_for(*features, request.selection);
+    pending.request.timeline.mark(telemetry::Stage::FeatureBuild);
 
     IC_ASSERT(executor < shard.replicas.size());
     Replica& replica = shard.replicas[executor][request.model];
@@ -315,6 +332,26 @@ PredictResult InferenceEngine::process_inner(Shard& shard,
     out.error = e.what();
     return out;
   }
+}
+
+void InferenceEngine::finish_timeline(Pending& pending,
+                                      std::size_t shard_index,
+                                      double total_seconds) {
+  telemetry::Timeline& timeline = pending.request.timeline;
+  timeline.mark(telemetry::Stage::Respond);
+  for (std::size_t s = 0; s < telemetry::kStageCount; ++s) {
+    if (timeline.dur_us[s] > 0) {
+      stage_hist_[s]->observe(static_cast<double>(timeline.dur_us[s]) / 1e6);
+    }
+  }
+  telemetry::TraceRecord record;
+  record.timeline = timeline;
+  record.request_id = pending.request.request_id;
+  record.fingerprint = pending.fingerprint;
+  record.shard = static_cast<std::uint32_t>(shard_index);
+  record.batch_size = pending.batch_size;
+  record.total_seconds = total_seconds;
+  traces_->record(shard_index, std::move(record));
 }
 
 void InferenceEngine::batcher_loop(std::size_t shard_index) {
@@ -341,6 +378,8 @@ void InferenceEngine::batcher_loop(std::size_t shard_index) {
       const std::size_t n = std::min(options_.max_batch, shard.queue.size());
       batch.reserve(n);
       for (std::size_t i = 0; i < n; ++i) {
+        shard.queue.front()->request.timeline.mark(telemetry::Stage::Queue);
+        shard.queue.front()->batch_size = static_cast<std::uint32_t>(n);
         batch.push_back(std::move(shard.queue.front()));
         shard.queue.pop_front();
       }
@@ -362,10 +401,13 @@ void InferenceEngine::batcher_loop(std::size_t shard_index) {
             results[i] = process(shard, *batch[i], executor);
           });
       metrics.counter("serve.batches").add(1);
+      batch_size_hist_->observe(static_cast<double>(batch.size()));
       const auto done = Clock::now();
       for (std::size_t i = 0; i < batch.size(); ++i) {
-        latency.observe(
-            std::chrono::duration<double>(done - batch[i]->enqueued).count());
+        const double total =
+            std::chrono::duration<double>(done - batch[i]->enqueued).count();
+        latency.observe(total);
+        finish_timeline(*batch[i], shard_index, total);
         fulfill(*batch[i], std::move(results[i]));
       }
       served += batch.size();

@@ -8,6 +8,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
 #include <deque>
 
@@ -15,7 +16,9 @@
 #include "ic/support/assert.hpp"
 #include "ic/support/log.hpp"
 #include "ic/support/metrics.hpp"
+#include "ic/support/profiler.hpp"
 #include "ic/support/progress.hpp"
+#include "ic/support/timeline.hpp"
 
 // Build stamp reported by {"op":"health"}; CMake passes the project version.
 #ifndef ICNET_VERSION
@@ -94,7 +97,8 @@ Server::~Server() { shutdown(); }
 void Server::register_op(const std::string& op, OpHandler handler) {
   IC_CHECK(!running_.load(), "register_op must be called before start()");
   IC_CHECK(op != "predict" && op != "ping" && op != "stats" &&
-               op != "health" && op != "shutdown",
+               op != "health" && op != "shutdown" && op != "profile" &&
+               op != "traces",
            "cannot override built-in op '" << op << "'");
   IC_CHECK(static_cast<bool>(handler), "register_op needs a handler");
   op_handlers_[op] = std::move(handler);
@@ -386,9 +390,15 @@ void Server::read_conn(const std::shared_ptr<Conn>& conn) {
 void Server::process_line(const std::shared_ptr<Conn>& conn,
                           const std::string& line) {
   auto& metrics = telemetry::MetricsRegistry::global();
+  // Stage 0 of the request timeline: the request line is fully off the
+  // socket. Parse is marked once the wire JSON decoded; the engine and the
+  // forward pass fill in the rest.
+  telemetry::Timeline timeline;
+  timeline.mark(telemetry::Stage::Accept);
   WireRequest req;
   try {
     req = parse_request(line);
+    timeline.mark(telemetry::Stage::Parse);
   } catch (const std::exception& e) {
     metrics.counter("serve.wire_errors").add(1);
     JsonValue resp = JsonValue::object();
@@ -421,6 +431,7 @@ void Server::process_line(const std::shared_ptr<Conn>& conn,
     predict.selection = req.select;
     predict.timeout_ms = req.timeout_ms;
     predict.request_id = req.request_id;  // may be empty: engine assigns r-<n>
+    predict.timeline = timeline;
     const bool has_id = req.has_id;
     const std::uint64_t id = req.id;
     std::shared_ptr<Conn> c = conn;
@@ -662,6 +673,69 @@ std::string Server::handle_admin(const WireRequest& req,
                    JsonValue::number(latency.quantile(0.99)));
         }
       }
+    } else if (req.op == "profile") {
+      auto& profiler = telemetry::Profiler::global();
+      if (req.action == "start") {
+        telemetry::ProfilerOptions options;
+        if (req.hz > 0) options.hz = static_cast<int>(req.hz);
+        if (req.seconds > 0) options.seconds = req.seconds;
+        const bool started = profiler.start(options);
+        resp.set("ok", JsonValue::boolean(true));
+        resp.set("started", JsonValue::boolean(started));
+        if (!started) {
+          resp.set("error",
+                   JsonValue::string("profiler already running"));
+        }
+      } else if (req.action == "stop") {
+        const bool stopped = profiler.stop();
+        resp.set("ok", JsonValue::boolean(true));
+        resp.set("stopped", JsonValue::boolean(stopped));
+      } else {  // dump: stop a live session, return the folded capture
+        profiler.stop();
+        resp.set("ok", JsonValue::boolean(true));
+        resp.set("folded", JsonValue::string(profiler.folded()));
+      }
+      resp.set("samples", JsonValue::number(
+                              static_cast<double>(profiler.sample_count())));
+      resp.set("dropped",
+               JsonValue::number(static_cast<double>(profiler.dropped())));
+      resp.set("running", JsonValue::boolean(profiler.running()));
+    } else if (req.op == "traces") {
+      const telemetry::TraceStore& store = engine_.traces();
+      resp.set("ok", JsonValue::boolean(true));
+      resp.set("recorded",
+               JsonValue::number(static_cast<double>(store.recorded())));
+      JsonValue traces = JsonValue::array();
+      for (const telemetry::TraceRecord& record : store.snapshot()) {
+        JsonValue entry = JsonValue::object();
+        entry.set("request_id", JsonValue::string(record.request_id));
+        // Fingerprints are full 64-bit values; hex keeps them exact where a
+        // JSON double would round.
+        char fp[19];
+        std::snprintf(fp, sizeof(fp), "0x%016llx",
+                      static_cast<unsigned long long>(record.fingerprint));
+        entry.set("fingerprint", JsonValue::string(fp));
+        entry.set("shard",
+                  JsonValue::number(static_cast<double>(record.shard)));
+        entry.set("batch_size",
+                  JsonValue::number(static_cast<double>(record.batch_size)));
+        entry.set("total_seconds", JsonValue::number(record.total_seconds));
+        JsonValue stages = JsonValue::array();
+        for (std::size_t s = 0; s < telemetry::kStageCount; ++s) {
+          if (record.timeline.ts_us[s] == 0) continue;  // stage never ran
+          JsonValue stage = JsonValue::object();
+          stage.set("stage", JsonValue::string(telemetry::stage_name(
+                                 static_cast<telemetry::Stage>(s))));
+          stage.set("ts_us", JsonValue::number(static_cast<double>(
+                                 record.timeline.ts_us[s])));
+          stage.set("dur_us", JsonValue::number(static_cast<double>(
+                                  record.timeline.dur_us[s])));
+          stages.push_back(std::move(stage));
+        }
+        entry.set("stages", std::move(stages));
+        traces.push_back(std::move(entry));
+      }
+      resp.set("traces", std::move(traces));
     } else if (req.op == "shutdown") {
       resp.set("ok", JsonValue::boolean(true));
       *close_connection = true;

@@ -398,7 +398,8 @@ WireRequest parse_request(const std::string& line) {
   WireRequest req;
   if (const JsonValue* op = doc.find("op")) req.op = op->as_string();
   IC_CHECK(req.op == "predict" || req.op == "search" || req.op == "ping" ||
-               req.op == "stats" || req.op == "health" || req.op == "shutdown",
+               req.op == "profile" || req.op == "traces" || req.op == "stats" ||
+               req.op == "health" || req.op == "shutdown",
            "unknown op '" << req.op << "'");
   if (const JsonValue* model = doc.find("model")) req.model = model->as_string();
   if (const JsonValue* circuit = doc.find("circuit")) {
@@ -428,8 +429,25 @@ WireRequest parse_request(const std::string& line) {
                  req.format == "prometheus",
              "unknown stats format '" << req.format << "'");
   }
+  if (const JsonValue* action = doc.find("action")) {
+    req.action = action->as_string();
+  }
+  if (const JsonValue* seconds = doc.find("seconds")) {
+    req.seconds = seconds->as_number();
+    IC_CHECK(req.seconds >= 0, "seconds must be non-negative");
+  }
+  if (const JsonValue* hz = doc.find("hz")) {
+    req.hz = static_cast<std::int64_t>(hz->as_number());
+    IC_CHECK(req.hz >= 0, "hz must be non-negative");
+  }
   if (req.op == "predict") {
     IC_CHECK(!req.select.empty(), "predict needs a non-empty select array");
+  }
+  if (req.op == "profile") {
+    IC_CHECK(req.action == "start" || req.action == "stop" ||
+                 req.action == "dump",
+             "profile action must be start|stop|dump, got '" << req.action
+                                                             << "'");
   }
   if (req.op == "search") {
     if (const JsonValue* search = doc.find("search")) {
@@ -462,6 +480,15 @@ std::string encode_request(const WireRequest& request) {
   }
   if (request.op == "stats" && !request.format.empty()) {
     doc.set("format", JsonValue::string(request.format));
+  }
+  if (request.op == "profile") {
+    doc.set("action", JsonValue::string(request.action));
+    if (request.seconds > 0) {
+      doc.set("seconds", JsonValue::number(request.seconds));
+    }
+    if (request.hz > 0) {
+      doc.set("hz", JsonValue::number(static_cast<double>(request.hz)));
+    }
   }
   if (request.has_id) {
     doc.set("id", JsonValue::number(static_cast<double>(request.id)));

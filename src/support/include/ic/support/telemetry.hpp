@@ -1,13 +1,16 @@
 // Umbrella header for the ic::telemetry subsystem — structured logging
 // (log.hpp), the metrics registry (metrics.hpp), Chrome-trace spans
-// (trace.hpp), the crash/stall flight recorder (flight_recorder.hpp), and the
-// live progress plane (progress.hpp) — plus the file-dump helpers shared by
-// the CLI and benches.
+// (trace.hpp), the crash/stall flight recorder (flight_recorder.hpp), the
+// live progress plane (progress.hpp), the sampling profiler (profiler.hpp),
+// and stage-attributed request timelines (timeline.hpp) — plus the
+// file-dump helpers shared by the CLI and benches.
 //
 // Environment variables honoured by the subsystem:
 //   IC_LOG_LEVEL       trace|debug|info|warn|error|off   (default: warn;
 //                      unrecognized values warn once and fall back)
 //   ICNET_METRICS_OUT  path; benches snapshot the registry there on exit
+//   ICNET_PROFILE      path[,hz][,seconds]; arms the sampling profiler at
+//                      startup, folded stacks written at exit
 #pragma once
 
 #include <chrono>
@@ -19,7 +22,9 @@
 #include "ic/support/flight_recorder.hpp"
 #include "ic/support/log.hpp"
 #include "ic/support/metrics.hpp"
+#include "ic/support/profiler.hpp"
 #include "ic/support/progress.hpp"
+#include "ic/support/timeline.hpp"
 #include "ic/support/trace.hpp"
 
 namespace ic::telemetry {

@@ -1,0 +1,119 @@
+#include "ic/support/timeline.hpp"
+
+#include <algorithm>
+
+#include "ic/support/assert.hpp"
+#include "ic/support/log.hpp"
+
+namespace ic::telemetry {
+
+const char* stage_name(Stage stage) {
+  switch (stage) {
+    case Stage::Accept: return "accept";
+    case Stage::Parse: return "parse";
+    case Stage::Route: return "route";
+    case Stage::Queue: return "queue";
+    case Stage::BatchAdmit: return "batch_admit";
+    case Stage::FeatureBuild: return "feature_build";
+    case Stage::Spmm: return "spmm";
+    case Stage::Dense: return "dense";
+    case Stage::Readout: return "readout";
+    case Stage::Respond: return "respond";
+  }
+  return "?";
+}
+
+namespace {
+
+// process_micros() is 0 at the very first call in a process (it defines the
+// epoch); clamp to 1 so the "never marked" sentinel stays unambiguous.
+std::int64_t nonzero_now() {
+  const std::int64_t now = process_micros();
+  return now > 0 ? now : 1;
+}
+
+}  // namespace
+
+void Timeline::begin() { last_us_ = nonzero_now(); }
+
+void Timeline::mark(Stage stage) {
+  const std::int64_t now = nonzero_now();
+  const std::size_t index = static_cast<std::size_t>(stage);
+  if (last_us_ != 0) dur_us[index] += now - last_us_;
+  ts_us[index] = now;
+  last_us_ = now;
+}
+
+namespace {
+thread_local Timeline* t_current_timeline = nullptr;
+}  // namespace
+
+Timeline* current_timeline() { return t_current_timeline; }
+
+ScopedTimeline::ScopedTimeline(Timeline* timeline)
+    : previous_(t_current_timeline) {
+  t_current_timeline = timeline;
+}
+
+ScopedTimeline::~ScopedTimeline() { t_current_timeline = previous_; }
+
+void mark_stage(Stage stage) {
+  Timeline* timeline = t_current_timeline;
+  if (timeline != nullptr) timeline->mark(stage);
+}
+
+TraceStore::TraceStore(const Options& options)
+    : options_(options), shards_(std::max<std::size_t>(1, options.shards)) {
+  if (options_.sample_every == 0) options_.sample_every = 1;
+}
+
+void TraceStore::record(std::size_t shard, TraceRecord record) {
+  Shard& s = shards_[shard % shards_.size()];
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.seen += 1;
+  // Tail: keep the K slowest, sorted fastest-first so the eviction candidate
+  // is always front().
+  if (options_.slowest_per_shard > 0) {
+    const bool full = s.slowest.size() >= options_.slowest_per_shard;
+    if (!full || record.total_seconds > s.slowest.front().total_seconds) {
+      if (full) s.slowest.erase(s.slowest.begin());
+      const auto pos = std::lower_bound(
+          s.slowest.begin(), s.slowest.end(), record.total_seconds,
+          [](const TraceRecord& r, double t) { return r.total_seconds < t; });
+      s.slowest.insert(pos, record);
+    }
+  }
+  // Uniform: every N-th request, into a fixed ring.
+  if (options_.ring_per_shard > 0 && s.seen % options_.sample_every == 1 % options_.sample_every) {
+    if (s.ring.size() < options_.ring_per_shard) {
+      s.ring.push_back(std::move(record));
+    } else {
+      s.ring[s.ring_next] = std::move(record);
+    }
+    s.ring_next = (s.ring_next + 1) % options_.ring_per_shard;
+  }
+}
+
+std::vector<TraceRecord> TraceStore::snapshot() const {
+  std::vector<TraceRecord> out;
+  for (const Shard& s : shards_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    // Slowest-first within the shard.
+    for (std::size_t i = s.slowest.size(); i-- > 0;) {
+      out.push_back(s.slowest[i]);
+    }
+    out.insert(out.end(), s.ring.begin(), s.ring.end());
+  }
+  return out;
+}
+
+std::uint64_t TraceStore::recorded() const {
+  std::uint64_t total = 0;
+  for (const Shard& s : shards_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    total += s.seen;
+  }
+  return total;
+}
+
+}  // namespace ic::telemetry

@@ -429,6 +429,63 @@ TEST_F(SearchTest, WireSearchMatchesInProcessByteForByte) {
   engine.stop();
 }
 
+TEST_F(SearchTest, SearchResponsesEchoRequestIdsAndCountSlowRequests) {
+  serve::ModelRegistry registry;
+  registry.load("default", model_path_);
+  serve::EngineOptions engine_options;
+  engine_options.slow_request_ms = 0;  // every request is "slow"
+  serve::InferenceEngine engine(registry, engine_options);
+  engine.register_circuit("default", circuit_);
+  SearchService service(engine);
+  service.register_circuit("default", circuit_);
+  serve::Server server(engine, registry);
+  service.install(server);
+  server.start();
+
+  auto& metrics = telemetry::MetricsRegistry::global();
+  const auto slow_before = metrics.counter("search.slow_requests").value();
+  const auto timed_before =
+      metrics.histogram("search.request_seconds").count();
+
+  serve::WireRequest request;
+  request.op = "search";
+  request.request_id = "search-trace-42";
+  request.search.budget = 2;
+  request.search.scheme = "xor";
+  request.search.greedy_steps = 1;
+  request.search.sa_steps = 1;
+  request.search.neighbors = 2;
+  request.search.top_k = 1;
+  request.search.seed = 3;
+  request.search.verify_max_conflicts = 20000;
+
+  serve::Client client("127.0.0.1", server.port());
+  const auto response = client.call(request);
+  ASSERT_TRUE(response.ok) << response.error;
+  EXPECT_EQ(response.request_id, "search-trace-42")
+      << "search responses must echo the client-chosen request id";
+
+  // Without a client id, the server assigns a non-empty one — same contract
+  // as predict, so slow-request log lines always have an id to correlate.
+  request.request_id.clear();
+  const auto assigned = client.call(request);
+  ASSERT_TRUE(assigned.ok) << assigned.error;
+  EXPECT_FALSE(assigned.request_id.empty());
+  EXPECT_NE(assigned.request_id, "search-trace-42");
+
+  // --slow-ms 0 marks both searches slow, and both land in the
+  // end-to-end latency histogram.
+  EXPECT_GE(metrics.counter("search.slow_requests").value(),
+            slow_before + 2);
+  EXPECT_GE(metrics.histogram("search.request_seconds").count(),
+            timed_before + 2);
+
+  client.close();
+  server.shutdown();
+  service.stop();
+  engine.stop();
+}
+
 TEST_F(SearchTest, SearchOpWithoutServiceAnswersError) {
   serve::ModelRegistry registry;
   registry.load("default", model_path_);

@@ -548,6 +548,144 @@ TEST_F(ServeTest, RequestIdsAreEchoedAndAssigned) {
   engine.stop();
 }
 
+TEST_F(ServeTest, ProfileOpStartsStopsAndDumpsOverTheWire) {
+  ModelRegistry registry;
+  registry.load("default", model_path_);
+  InferenceEngine engine(registry, {});
+  engine.register_circuit("default", circuit_);
+  Server server(engine, registry, {});
+  server.start();
+
+  Client client("127.0.0.1", server.port());
+
+  WireRequest start;
+  start.op = "profile";
+  start.action = "start";
+  start.hz = 997;
+  auto response = client.call(start);
+  ASSERT_TRUE(response.ok) << response.error;
+  ASSERT_NE(response.raw.find("started"), nullptr);
+  EXPECT_TRUE(response.raw.find("started")->as_bool());
+  ASSERT_NE(response.raw.find("running"), nullptr);
+  EXPECT_TRUE(response.raw.find("running")->as_bool());
+
+  // A second start reports the in-flight session instead of clobbering it.
+  response = client.call(start);
+  ASSERT_TRUE(response.ok);
+  EXPECT_FALSE(response.raw.find("started")->as_bool());
+  ASSERT_NE(response.raw.find("error"), nullptr);
+
+  // Some work while the profiler samples.
+  WireRequest predict;
+  predict.select = {3, 9, 17};
+  for (int i = 0; i < 16; ++i) ASSERT_TRUE(client.call(predict).ok);
+
+  WireRequest dump;
+  dump.op = "profile";
+  dump.action = "dump";
+  response = client.call(dump);
+  ASSERT_TRUE(response.ok) << response.error;
+  ASSERT_NE(response.raw.find("folded"), nullptr)
+      << "dump must return the folded capture";
+  ASSERT_NE(response.raw.find("samples"), nullptr);
+  EXPECT_FALSE(response.raw.find("running")->as_bool())
+      << "dump stops a live session";
+
+  // Stop after dump is a polite no-op.
+  WireRequest stop;
+  stop.op = "profile";
+  stop.action = "stop";
+  response = client.call(stop);
+  ASSERT_TRUE(response.ok);
+  EXPECT_FALSE(response.raw.find("stopped")->as_bool());
+
+  server.shutdown();
+  engine.stop();
+}
+
+TEST_F(ServeTest, TracesOpReportsStageAttributedTimelines) {
+  ModelRegistry registry;
+  registry.load("default", model_path_);
+  EngineOptions engine_options;
+  engine_options.shards = 2;
+  InferenceEngine engine(registry, engine_options);
+  engine.register_circuit("default", circuit_);
+  Server server(engine, registry, {});
+  server.start();
+
+  Client client("127.0.0.1", server.port());
+  WireRequest predict;
+  predict.select = {3, 9, 17};
+  predict.request_id = "timeline-probe";
+  for (int i = 0; i < 8; ++i) ASSERT_TRUE(client.call(predict).ok);
+
+  WireRequest traces;
+  traces.op = "traces";
+  const auto response = client.call(traces);
+  ASSERT_TRUE(response.ok) << response.error;
+  ASSERT_NE(response.raw.find("recorded"), nullptr);
+  EXPECT_GE(response.raw.find("recorded")->as_number(), 8.0);
+  const auto* entries = response.raw.find("traces");
+  ASSERT_NE(entries, nullptr);
+  ASSERT_FALSE(entries->items().empty());
+
+  bool saw_probe = false;
+  bool saw_forward_split = false;
+  for (const auto& entry : entries->items()) {
+    ASSERT_NE(entry.find("request_id"), nullptr);
+    if (entry.find("request_id")->as_string() == "timeline-probe") {
+      saw_probe = true;
+    }
+    // Fingerprints travel as exact hex strings, not lossy JSON doubles.
+    ASSERT_NE(entry.find("fingerprint"), nullptr);
+    const std::string fingerprint = entry.find("fingerprint")->as_string();
+    ASSERT_EQ(fingerprint.size(), 18u) << fingerprint;
+    EXPECT_EQ(fingerprint.substr(0, 2), "0x");
+    ASSERT_NE(entry.find("batch_size"), nullptr);
+    EXPECT_GE(entry.find("batch_size")->as_number(), 1.0);
+    ASSERT_NE(entry.find("total_seconds"), nullptr);
+    EXPECT_GE(entry.find("total_seconds")->as_number(), 0.0);
+
+    // Stages are listed in pipeline order with monotonically non-decreasing
+    // completion timestamps, and the forward pass is split into its
+    // spmm / dense / readout phases.
+    const auto* stages = entry.find("stages");
+    ASSERT_NE(stages, nullptr);
+    double last_ts = 0.0;
+    bool spmm = false, dense = false, readout = false;
+    for (const auto& stage : stages->items()) {
+      ASSERT_NE(stage.find("stage"), nullptr);
+      ASSERT_NE(stage.find("ts_us"), nullptr);
+      ASSERT_NE(stage.find("dur_us"), nullptr);
+      const double ts = stage.find("ts_us")->as_number();
+      EXPECT_GE(ts, last_ts) << "stage completion times must be monotonic";
+      last_ts = ts;
+      EXPECT_GE(stage.find("dur_us")->as_number(), 0.0);
+      const std::string name = stage.find("stage")->as_string();
+      spmm |= name == "spmm";
+      dense |= name == "dense";
+      readout |= name == "readout";
+    }
+    saw_forward_split |= spmm && dense && readout;
+  }
+  EXPECT_TRUE(saw_probe) << "the probed request must be retained";
+  EXPECT_TRUE(saw_forward_split)
+      << "timelines must attribute the forward pass to spmm/dense/readout";
+
+  // The same stage split feeds the Prometheus exposition.
+  const auto prom = client.stats("prometheus");
+  ASSERT_TRUE(prom.ok);
+  const std::string text = prom.raw.find("prometheus")->as_string();
+  EXPECT_NE(text.find("serve_stage_spmm_seconds_count"), std::string::npos);
+  EXPECT_NE(text.find("serve_stage_dense_seconds_count"), std::string::npos);
+  EXPECT_NE(text.find("serve_stage_readout_seconds_count"),
+            std::string::npos);
+  EXPECT_NE(text.find("serve_stage_queue_seconds_count"), std::string::npos);
+
+  server.shutdown();
+  engine.stop();
+}
+
 TEST_F(ServeTest, MalformedLinesCountWireErrors) {
   ModelRegistry registry;
   registry.load("default", model_path_);

@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -386,6 +389,53 @@ TEST(Trace, SpanTimestampsNest) {
   const auto outer_pos = json.find("nest_outer");
   EXPECT_LT(inner_pos, outer_pos);
   collector.clear();
+}
+
+// ---- MetricsFlusher --------------------------------------------------------
+
+TEST(MetricsFlusher, StopWritesAFinalSnapshotAtomically) {
+  const std::string path = ::testing::TempDir() + "flusher_final.json";
+  std::remove(path.c_str());
+  std::remove((path + ".tmp").c_str());
+
+  MetricsRegistry::global().counter("flusher.test.final").add(7);
+  {
+    // Interval far beyond the test's lifetime: the only snapshot that can
+    // appear is the final one stop() writes on graceful shutdown.
+    MetricsFlusher flusher(path, std::chrono::milliseconds(60000));
+    flusher.stop();
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good()) << "stop() must leave a final snapshot at " << path;
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    EXPECT_NE(buffer.str().find("flusher.test.final"), std::string::npos);
+
+    // Atomicity: the snapshot was staged at path + ".tmp" and renamed into
+    // place, so no temp file may survive.
+    std::ifstream tmp(path + ".tmp");
+    EXPECT_FALSE(tmp.good()) << "tmp staging file must be renamed away";
+
+    flusher.stop();  // idempotent: second stop is a no-op, not a crash
+  }
+  std::remove(path.c_str());
+}
+
+TEST(MetricsFlusher, DestructorFlushesWithoutExplicitStop) {
+  const std::string path = ::testing::TempDir() + "flusher_dtor.prom";
+  std::remove(path.c_str());
+
+  MetricsRegistry::global().counter("flusher.test.dtor").add(1);
+  {
+    MetricsFlusher flusher(path, std::chrono::milliseconds(60000));
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "destructor must write the final snapshot";
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  // ".prom" selects Prometheus text exposition in the final snapshot too.
+  EXPECT_NE(buffer.str().find("flusher_test_dtor"), std::string::npos);
+  std::remove(path.c_str());
 }
 
 }  // namespace
